@@ -1,0 +1,45 @@
+// Command galiot-sim runs the paper-reproduction experiments: every table
+// and figure of the evaluation (Sec. 7) plus the DESIGN.md ablations, over
+// the simulated RTL-SDR substrate.
+//
+// Usage:
+//
+//	galiot-sim -exp fig3b            # one experiment
+//	galiot-sim -exp all -quick       # everything, reduced trial counts
+//	galiot-sim -list                 # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id to run, or 'all'")
+		seed  = flag.Uint64("seed", 1, "base RNG seed (runs are deterministic per seed)")
+		quick = flag.Bool("quick", false, "reduced trial counts for a fast smoke run")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(opt, os.Stdout)
+	} else {
+		err = experiments.Run(*exp, opt, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Command galiot-spectrum renders an ASCII waterfall of a cu8 capture
+// file — the quick look a gateway operator takes before debugging
+// detection issues. Each output row is the Welch power spectral density of
+// one time slice, mapped across the capture bandwidth; intensity uses a
+// dB ramp.
+//
+//	galiot-spectrum -in capture.cu8 -rows 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/dsp"
+	"repro/internal/iq"
+)
+
+const ramp = " .:-=+*#%@"
+
+func main() {
+	var (
+		in   = flag.String("in", "capture.cu8", "input cu8 file")
+		rate = flag.Float64("rate", 1e6, "capture sample rate in Hz")
+		rows = flag.Int("rows", 32, "time slices to render")
+		cols = flag.Int("cols", 96, "frequency bins to render")
+		span = flag.Float64("range", 40, "dynamic range in dB")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-spectrum:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	reader := iq.NewReader(f, iq.CU8)
+	var samples []complex128
+	buf := make([]complex128, 1<<18)
+	for {
+		n, err := reader.Read(buf)
+		if n > 0 {
+			samples = append(samples, buf[:n]...)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-spectrum:", err)
+			os.Exit(1)
+		}
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "galiot-spectrum: empty capture")
+		os.Exit(1)
+	}
+	if *rows < 1 {
+		*rows = 1
+	}
+	if *cols < 16 {
+		*cols = 16
+	}
+
+	slice := len(samples) / *rows
+	if slice < 256 {
+		slice = len(samples)
+		*rows = 1
+	}
+	fmt.Printf("%s: %d samples (%.2f s at %.0f Hz), %d x %d waterfall, %g dB range\n",
+		*in, len(samples), float64(len(samples))/(*rate), *rate, *rows, *cols, *span)
+	// frequency axis header
+	left := -*rate / 2e3
+	right := *rate / 2e3
+	fmt.Printf("%8.0fkHz%s%+.0fkHz\n", left, strings.Repeat(" ", *cols-12), right)
+
+	for r := 0; r < *rows; r++ {
+		seg := samples[r*slice : (r+1)*slice]
+		psd := dsp.WelchPSD(seg, min(2048, len(seg)), dsp.Hann)
+		shifted := shiftPSD(psd)
+		// peak within the whole row for reference
+		peak := 1e-30
+		for _, v := range shifted {
+			if v > peak {
+				peak = v
+			}
+		}
+		var sb strings.Builder
+		for c := 0; c < *cols; c++ {
+			lo := c * len(shifted) / *cols
+			hi := (c + 1) * len(shifted) / *cols
+			bin := 0.0
+			for i := lo; i < hi; i++ {
+				if shifted[i] > bin {
+					bin = shifted[i]
+				}
+			}
+			db := 10 * math.Log10(bin/peak)
+			idx := int((db + *span) / *span * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		fmt.Printf("%7.1fms |%s|\n", 1000*float64(r*slice)/(*rate), sb.String())
+	}
+}
+
+// shiftPSD reorders a PSD so negative frequencies come first.
+func shiftPSD(psd []float64) []float64 {
+	n := len(psd)
+	out := make([]float64, n)
+	h := (n + 1) / 2
+	copy(out, psd[h:])
+	copy(out[n-h:], psd[:h])
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

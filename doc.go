@@ -1,0 +1,9 @@
+// Package repro is the root of the GalioT reproduction — see README.md for
+// the project overview, DESIGN.md for the system inventory and
+// paper-to-module mapping, and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure.
+//
+// The public API lives in package repro/galiot; the benchmark harness that
+// regenerates the paper's evaluation artifacts is bench_test.go in this
+// directory (go test -bench=. -benchmem).
+package repro

@@ -1,0 +1,64 @@
+// Collision: the paper's headline scenario. LoRa, XBee and Z-Wave frames
+// collide in time inside one 1 MHz capture; the strict SIC baseline stalls
+// while GalioT's kill-filter decoder (Algorithm 1) separates all three.
+//
+//	go run ./examples/collision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/galiot"
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+func main() {
+	techs := galiot.Technologies()
+	payloads := map[string][]byte{
+		"lora":  []byte("soil moisture 41%"),
+		"xbee":  []byte("door sensor: open"),
+		"zwave": []byte("dimmer to 70"),
+	}
+
+	// Render the three frames and overlap them in time at comparable
+	// received powers — the regime where plain SIC cannot pick a winner.
+	gen := rng.New(7)
+	var emissions []channel.Emission
+	longest := 0
+	for i, tech := range techs {
+		sig, err := tech.Modulate(payloads[tech.Name()], galiot.SampleRate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emissions = append(emissions, channel.Emission{
+			Samples: sig,
+			Offset:  6000 + i*3000,   // staggered starts, fully overlapping
+			SNRdB:   11 + float64(i), // comparable powers within 2 dB
+		})
+		if len(sig) > longest {
+			longest = len(sig)
+		}
+	}
+	capture := channel.Mix(longest+30000, emissions, gen, galiot.SampleRate)
+	fmt.Printf("capture: %d samples with a 3-way cross-technology collision\n\n", len(capture))
+
+	run := func(name string, dec *galiot.CollisionDecoder) int {
+		frames, stats := dec.Decode(capture)
+		fmt.Printf("%s recovered %d frame(s):\n", name, len(frames))
+		for _, f := range frames {
+			fmt.Printf("  %-5s crc=%v payload=%q\n", f.Tech, f.CRCOK, f.Payload)
+		}
+		fmt.Printf("  decoder stats: %+v\n\n", stats)
+		return len(frames)
+	}
+
+	nSIC := run("strict SIC baseline", galiot.NewSICBaseline(techs))
+	nCloud := run("GalioT (SIC + kill filters)", galiot.NewCollisionDecoder(techs))
+
+	fmt.Printf("SIC: %d/3, GalioT: %d/3\n", nSIC, nCloud)
+	if nCloud < 3 {
+		log.Fatal("expected GalioT to recover all three frames")
+	}
+}

@@ -1,0 +1,163 @@
+// Package galiot is the public API of the GalioT reproduction — a
+// cloud-assisted software-defined-radio gateway for low-power IoT that
+// detects packets of many radio technologies (including cross-technology
+// collisions) with a single universal-preamble correlation and decodes the
+// collisions in the cloud with modulation-class "kill" filters wrapped
+// around successive interference cancellation.
+//
+// The package re-exports the pieces a downstream application composes:
+//
+//   - Technologies: ready-made PHYs (LoRa CSS, XBee GFSK, Z-Wave BFSK,
+//     802.15.4-style O-QPSK DSSS) behind the Technology interface;
+//   - NewGateway: front-end → detection → edge decode → backhaul pipeline;
+//   - NewCloud: the Algorithm-1 collision decoder as a service;
+//   - NewUniversalDetector / NewCollisionDecoder: the two core algorithms
+//     standalone, for embedding in other systems.
+//
+// See the examples/ directory for runnable end-to-end programs and
+// EXPERIMENTS.md for the paper-reproduction harness.
+package galiot
+
+import (
+	"sync"
+
+	"repro/internal/backhaul"
+	"repro/internal/cancel"
+	"repro/internal/cloud"
+	"repro/internal/detect"
+	"repro/internal/frontend"
+	"repro/internal/gateway"
+	"repro/internal/phy"
+	"repro/internal/phy/dbpsk"
+	"repro/internal/phy/lora"
+	"repro/internal/phy/ofdm"
+	"repro/internal/phy/oqpsk"
+	"repro/internal/phy/xbee"
+	"repro/internal/phy/zwave"
+)
+
+// Re-exported core types. The underlying packages carry the full
+// documentation; these aliases make the public surface importable from a
+// single place.
+type (
+	// Technology is a complete PHY implementation (modulator, demodulator,
+	// preamble, catalog metadata).
+	Technology = phy.Technology
+	// Frame is a decoded PHY frame with receiver-side estimates.
+	Frame = phy.Frame
+	// Detector is a packet-detection strategy (energy, universal, matched).
+	Detector = detect.Detector
+	// Detection is one packet-detection event.
+	Detection = detect.Detection
+	// Segment is an extracted I/Q block around a detection.
+	Segment = detect.Segment
+	// Gateway is the GalioT gateway runtime.
+	Gateway = gateway.Gateway
+	// GatewayConfig assembles a Gateway.
+	GatewayConfig = gateway.Config
+	// GatewayResult is the outcome of processing one capture.
+	GatewayResult = gateway.Result
+	// Cloud is the collision-decoding service.
+	Cloud = cloud.Service
+	// CloudServer is a TCP front for the Cloud service.
+	CloudServer = cloud.Server
+	// CollisionDecoder runs Algorithm 1 (SIC + kill filters).
+	CollisionDecoder = cancel.Decoder
+	// DecodeStats aggregates what a decode invocation did.
+	DecodeStats = cancel.Stats
+	// Receiver models the RTL-SDR front-end impairments.
+	Receiver = frontend.Receiver
+	// FrameReport is a decoded frame on the backhaul wire.
+	FrameReport = backhaul.FrameReport
+	// FramesReport carries decode results for one segment.
+	FramesReport = backhaul.FramesReport
+)
+
+// SampleRate is the paper's gateway sample rate: the RTL-SDR configured
+// for a 1 MHz capture bandwidth at 868 MHz.
+const SampleRate = 1e6
+
+// Technologies returns fresh default instances of the three prototype
+// technologies evaluated in the paper — LoRa (CSS), XBee (GFSK) and Z-Wave
+// (BFSK) — in that order.
+func Technologies() []Technology {
+	return []Technology{lora.Default(), xbee.Default(), zwave.Default()}
+}
+
+// TechnologiesWithDSSS returns the prototype set plus the 802.15.4-style
+// O-QPSK DSSS PHY (the Thread/WirelessHART modulation class from Table 1),
+// which exercises the KILL-CODES filter.
+func TechnologiesWithDSSS() []Technology {
+	return append(Technologies(), oqpsk.Default())
+}
+
+// TechnologiesAll returns every implemented PHY that runs at the gateway's
+// 1 MHz capture rate: the three prototypes plus O-QPSK DSSS, the
+// SigFox-class D-BPSK ultra-narrowband PHY and the WiFi HaLow-class
+// 1 MHz-mode OFDM PHY — at least one technology per modulation class in
+// the paper's Sec. 5 taxonomy. The BLE LE 1M PHY (repro/internal/phy/ble)
+// is also implemented but needs a ≥5 MHz capture, so it is not part of
+// this set.
+func TechnologiesAll() []Technology {
+	return append(TechnologiesWithDSSS(), dbpsk.Default(), ofdm.Default())
+}
+
+var registerOnce sync.Once
+
+// RegisterDefaults adds the default technology instances to the global
+// phy registry (used by name-based lookup in tools). Safe to call multiple
+// times.
+func RegisterDefaults() {
+	registerOnce.Do(func() {
+		for _, t := range TechnologiesAll() {
+			phy.Register(t)
+		}
+	})
+}
+
+// NewGateway builds a gateway over the given technologies with the paper's
+// defaults: an RTL-SDR-class front-end model and the universal-preamble
+// detector. Pass a zero GatewayConfig except for the fields you want to
+// override.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Techs) == 0 {
+		cfg.Techs = Technologies()
+	}
+	if cfg.Frontend == nil {
+		cfg.Frontend = frontend.Ideal(SampleRate)
+	}
+	return gateway.New(cfg)
+}
+
+// NewCloud builds the cloud decoding service over the given technologies
+// (default: the prototype set).
+func NewCloud(techs ...Technology) *Cloud {
+	if len(techs) == 0 {
+		techs = Technologies()
+	}
+	return cloud.NewService(techs)
+}
+
+// NewUniversalDetector builds the universal-preamble detector of Sec. 4
+// over the given technologies at the gateway sample rate.
+func NewUniversalDetector(techs []Technology, threshold float64) (*detect.UniversalDetector, error) {
+	return detect.NewUniversal(techs, SampleRate, threshold)
+}
+
+// NewCollisionDecoder builds the Algorithm-1 collision decoder of Sec. 5.
+func NewCollisionDecoder(techs []Technology) *CollisionDecoder {
+	return cancel.NewDecoder(techs, SampleRate)
+}
+
+// NewSICBaseline builds the strict power-ordered SIC baseline the paper
+// compares against.
+func NewSICBaseline(techs []Technology) *CollisionDecoder {
+	return cancel.NewSIC(techs, SampleRate)
+}
+
+// DefaultFrontend returns the paper's prototype front-end model: 1 MHz,
+// 8-bit quantization, DC offset, IQ imbalance, 500 Hz tuner error.
+func DefaultFrontend() *Receiver { return frontend.Default() }
+
+// IdealFrontend returns a distortion-free front-end for algorithm studies.
+func IdealFrontend() *Receiver { return frontend.Ideal(SampleRate) }

@@ -1,0 +1,268 @@
+// Package backhaul implements the gateway↔cloud wire protocol: a
+// length-prefixed message stream carrying a JSON hello handshake, detected
+// I/Q segments (quantized and flate-compressed to respect the home cable
+// uplink the paper worries about), and decoded-frame reports flowing back.
+//
+// Framing: every message is [type:1][length:4 big-endian][payload]. Control
+// messages (hello, frames) are JSON; segment payloads are binary:
+// [startSample:8][sampleRate:8][scale:8][format:1][flate:1][data...].
+// The scale field records the per-segment gain applied before quantization
+// (digital AGC): samples are normalized so the peak rail sits just below
+// full scale, exactly as an SDR gain stage would, and the receiver undoes
+// the gain so calibrated power levels survive the 8-bit wire format.
+package backhaul
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/iq"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgHello   MsgType = 1 // JSON Hello
+	MsgSegment MsgType = 2 // binary segment
+	MsgFrames  MsgType = 3 // JSON FramesReport
+	MsgBye     MsgType = 4 // empty payload, orderly shutdown
+)
+
+// Version is the current protocol version.
+const Version = 1
+
+// MaxMessageSize bounds a single message payload (64 MiB) to keep a
+// corrupted length prefix from exhausting memory.
+const MaxMessageSize = 64 << 20
+
+// Hello is the handshake sent by the gateway when a session opens.
+type Hello struct {
+	Version    int      `json:"version"`
+	GatewayID  string   `json:"gateway_id"`
+	SampleRate float64  `json:"sample_rate"`
+	Techs      []string `json:"techs"`
+}
+
+// FrameReport describes one decoded frame, sent from the cloud back to the
+// gateway (and usable by applications).
+type FrameReport struct {
+	Tech    string  `json:"tech"`
+	Payload []byte  `json:"payload"`
+	CRCOK   bool    `json:"crc_ok"`
+	Offset  int64   `json:"offset"` // absolute sample index of the frame start
+	SNRdB   float64 `json:"snr_db,omitempty"`
+}
+
+// FramesReport carries the decode results for one segment.
+type FramesReport struct {
+	SegmentStart int64         `json:"segment_start"`
+	Frames       []FrameReport `json:"frames"`
+}
+
+// Segment is a detected I/Q block in transit.
+type Segment struct {
+	Start      int64
+	SampleRate float64
+	Samples    []complex128
+}
+
+// Conn frames messages over any reliable byte stream.
+type Conn struct {
+	rw io.ReadWriter
+}
+
+// NewConn wraps a byte stream (net.Conn, net.Pipe end, bytes.Buffer...).
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// WriteMessage sends one framed message.
+func (c *Conn) WriteMessage(t MsgType, payload []byte) error {
+	if len(payload) > MaxMessageSize {
+		return fmt.Errorf("backhaul: payload %d exceeds max %d", len(payload), MaxMessageSize)
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		// Skip the empty write: zero-length writes on rendezvous streams
+		// like net.Pipe block until a matching read, which a zero-length
+		// io.ReadFull on the peer never issues.
+		return nil
+	}
+	_, err := c.rw.Write(payload)
+	return err
+}
+
+// ReadMessage receives one framed message.
+func (c *Conn) ReadMessage() (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	t := MsgType(hdr[0])
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxMessageSize {
+		return 0, nil, fmt.Errorf("backhaul: message length %d exceeds max", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, payload); err != nil {
+		return 0, nil, err
+	}
+	return t, payload, nil
+}
+
+// SendHello writes the handshake.
+func (c *Conn) SendHello(h Hello) error {
+	data, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(MsgHello, data)
+}
+
+// SendFrames writes a decode report.
+func (c *Conn) SendFrames(r FramesReport) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(MsgFrames, data)
+}
+
+// SendBye writes an orderly shutdown marker.
+func (c *Conn) SendBye() error { return c.WriteMessage(MsgBye, nil) }
+
+// SegmentCodec controls how segments are serialized.
+type SegmentCodec struct {
+	Format   iq.Format // sample format on the wire (CU8 matches the RTL-SDR ADC)
+	Compress bool      // apply DEFLATE on top
+}
+
+// DefaultCodec is what the paper's gateway effectively ships: 8-bit
+// quantized samples, compressed.
+var DefaultCodec = SegmentCodec{Format: iq.CU8, Compress: true}
+
+// Encode serializes a segment.
+func (sc SegmentCodec) Encode(seg Segment) ([]byte, error) {
+	// Digital AGC: normalize the peak rail to 0.98 full scale so the
+	// quantizer neither clips strong bursts nor wastes dynamic range on
+	// weak ones.
+	peak := 0.0
+	for _, v := range seg.Samples {
+		if a := math.Abs(real(v)); a > peak {
+			peak = a
+		}
+		if a := math.Abs(imag(v)); a > peak {
+			peak = a
+		}
+	}
+	scale := 1.0
+	if peak > 0 {
+		scale = 0.98 / peak
+	}
+	scaled := make([]complex128, len(seg.Samples))
+	for i, v := range seg.Samples {
+		scaled[i] = complex(real(v)*scale, imag(v)*scale)
+	}
+	raw, err := iq.Encode(scaled, sc.Format)
+	if err != nil {
+		return nil, err
+	}
+	flag := byte(0)
+	if sc.Compress {
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(raw); err != nil {
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		// Only keep compression when it actually wins (noise-like I/Q can
+		// be incompressible).
+		if buf.Len() < len(raw) {
+			raw = buf.Bytes()
+			flag = 1
+		}
+	}
+	out := make([]byte, 26+len(raw))
+	binary.BigEndian.PutUint64(out[0:], uint64(seg.Start))
+	binary.BigEndian.PutUint64(out[8:], math.Float64bits(seg.SampleRate))
+	binary.BigEndian.PutUint64(out[16:], math.Float64bits(scale))
+	out[24] = byte(sc.Format)
+	out[25] = flag
+	copy(out[26:], raw)
+	return out, nil
+}
+
+// Decode deserializes a segment payload.
+func DecodeSegment(payload []byte) (Segment, error) {
+	if len(payload) < 26 {
+		return Segment{}, fmt.Errorf("backhaul: segment payload too short")
+	}
+	start := int64(binary.BigEndian.Uint64(payload[0:]))
+	rate := math.Float64frombits(binary.BigEndian.Uint64(payload[8:]))
+	scale := math.Float64frombits(binary.BigEndian.Uint64(payload[16:]))
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return Segment{}, fmt.Errorf("backhaul: invalid segment scale %v", scale)
+	}
+	format := iq.Format(payload[24])
+	compressed := payload[25] == 1
+	data := payload[26:]
+	if compressed {
+		r := flate.NewReader(bytes.NewReader(data))
+		defer r.Close()
+		raw, err := io.ReadAll(io.LimitReader(r, MaxMessageSize))
+		if err != nil {
+			return Segment{}, fmt.Errorf("backhaul: decompress: %w", err)
+		}
+		data = raw
+	}
+	samples, err := iq.Decode(data, format)
+	if err != nil {
+		return Segment{}, err
+	}
+	inv := 1 / scale
+	for i, v := range samples {
+		samples[i] = complex(real(v)*inv, imag(v)*inv)
+	}
+	return Segment{Start: start, SampleRate: rate, Samples: samples}, nil
+}
+
+// SendSegment encodes and writes a segment.
+func (c *Conn) SendSegment(sc SegmentCodec, seg Segment) (wireBytes int, err error) {
+	payload, err := sc.Encode(seg)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.WriteMessage(MsgSegment, payload); err != nil {
+		return 0, err
+	}
+	return 5 + len(payload), nil
+}
+
+// ParseHello decodes a hello payload.
+func ParseHello(payload []byte) (Hello, error) {
+	var h Hello
+	err := json.Unmarshal(payload, &h)
+	return h, err
+}
+
+// ParseFrames decodes a frames-report payload.
+func ParseFrames(payload []byte) (FramesReport, error) {
+	var r FramesReport
+	err := json.Unmarshal(payload, &r)
+	return r, err
+}

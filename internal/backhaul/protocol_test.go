@@ -1,0 +1,231 @@
+package backhaul
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+	"repro/internal/iq"
+	"repro/internal/rng"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteMessage(MsgHello, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.ReadMessage()
+	if err != nil || typ != MsgHello || string(payload) != "abc" {
+		t.Fatalf("%v %v %q", typ, err, payload)
+	}
+}
+
+func TestMessageEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.SendBye(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.ReadMessage()
+	if err != nil || typ != MsgBye || len(payload) != 0 {
+		t.Fatalf("%v %v %d", typ, err, len(payload))
+	}
+}
+
+func TestMessageTruncatedStream(t *testing.T) {
+	c := NewConn(bytes.NewBuffer([]byte{byte(MsgHello), 0, 0, 0, 10, 'x'}))
+	if _, _, err := c.ReadMessage(); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+	c2 := NewConn(bytes.NewBuffer([]byte{1, 2}))
+	if _, _, err := c2.ReadMessage(); err == nil {
+		t.Fatal("truncated header should error")
+	}
+}
+
+func TestMessageOversizeRejected(t *testing.T) {
+	hdr := []byte{byte(MsgSegment), 0xFF, 0xFF, 0xFF, 0xFF}
+	c := NewConn(bytes.NewBuffer(hdr))
+	if _, _, err := c.ReadMessage(); err == nil {
+		t.Fatal("oversize length should be rejected before allocation")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	h := Hello{Version: Version, GatewayID: "gw-1", SampleRate: 1e6, Techs: []string{"lora", "xbee"}}
+	if err := c.SendHello(h); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.ReadMessage()
+	if err != nil || typ != MsgHello {
+		t.Fatal(err)
+	}
+	got, err := ParseHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GatewayID != "gw-1" || got.SampleRate != 1e6 || len(got.Techs) != 2 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestFramesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	r := FramesReport{SegmentStart: 777, Frames: []FrameReport{{Tech: "lora", Payload: []byte{1, 2}, CRCOK: true, Offset: 780, SNRdB: 7.5}}}
+	if err := c.SendFrames(r); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFrames(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SegmentStart != 777 || len(got.Frames) != 1 || !got.Frames[0].CRCOK {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestSegmentCodecRoundTrip(t *testing.T) {
+	gen := rng.New(1)
+	samples := make([]complex128, 5000)
+	for i := range samples {
+		samples[i] = complex(gen.NormFloat64()*0.2, gen.NormFloat64()*0.2)
+	}
+	for _, sc := range []SegmentCodec{
+		{Format: iq.CU8, Compress: false},
+		{Format: iq.CU8, Compress: true},
+		{Format: iq.CS16, Compress: true},
+		{Format: iq.CF32, Compress: false},
+	} {
+		seg := Segment{Start: 123456, SampleRate: 1e6, Samples: samples}
+		payload, err := sc.Encode(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeSegment(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Start != 123456 || got.SampleRate != 1e6 || len(got.Samples) != 5000 {
+			t.Fatalf("%v: meta %d %v %d", sc, got.Start, got.SampleRate, len(got.Samples))
+		}
+		// quantization error bounded by the format
+		tol := 2.0 / 127.5
+		if sc.Format != iq.CU8 {
+			tol = 1e-3
+		}
+		for i := range samples {
+			if d := got.Samples[i] - samples[i]; math.Abs(real(d)) > tol || math.Abs(imag(d)) > tol {
+				t.Fatalf("%v: sample %d error %v", sc, i, d)
+			}
+		}
+	}
+}
+
+func TestSegmentCompressionWinsOnStructure(t *testing.T) {
+	// A constant tone quantizes to a highly repetitive byte stream; flate
+	// must shrink it. Pure noise should fall back to uncompressed.
+	tone := dsp.Tone(20000, 10e3, 0, 1e6)
+	dsp.Scale(tone, 0.5)
+	seg := Segment{Start: 0, SampleRate: 1e6, Samples: tone}
+	comp, err := SegmentCodec{Format: iq.CU8, Compress: true}.Encode(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SegmentCodec{Format: iq.CU8, Compress: false}.Encode(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(plain) {
+		t.Fatalf("compression did not help: %d vs %d", len(comp), len(plain))
+	}
+	got, err := DecodeSegment(comp)
+	if err != nil || len(got.Samples) != len(tone) {
+		t.Fatalf("decode compressed: %v", err)
+	}
+}
+
+func TestSegmentDecodeErrors(t *testing.T) {
+	if _, err := DecodeSegment([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload")
+	}
+}
+
+func TestSegmentPayloadProperty(t *testing.T) {
+	if err := quick.Check(func(start int64, data []byte) bool {
+		if len(data)%2 == 1 {
+			data = data[:len(data)-1]
+		}
+		samples, err := iq.Decode(data, iq.CU8)
+		if err != nil {
+			return false
+		}
+		seg := Segment{Start: start, SampleRate: 1e6, Samples: samples}
+		payload, err := SegmentCodec{Format: iq.CU8, Compress: true}.Encode(seg)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeSegment(payload)
+		if err != nil {
+			return false
+		}
+		return got.Start == start && len(got.Samples) == len(samples)
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverTCPLikePipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	gen := rng.New(2)
+	samples := make([]complex128, 3000)
+	for i := range samples {
+		samples[i] = complex(gen.NormFloat64()*0.1, gen.NormFloat64()*0.1)
+	}
+	done := make(chan error, 1)
+	go func() {
+		c := NewConn(a)
+		if err := c.SendHello(Hello{Version: Version, GatewayID: "gw", SampleRate: 1e6}); err != nil {
+			done <- err
+			return
+		}
+		if _, err := c.SendSegment(DefaultCodec, Segment{Start: 42, SampleRate: 1e6, Samples: samples}); err != nil {
+			done <- err
+			return
+		}
+		done <- c.SendBye()
+	}()
+	c := NewConn(b)
+	typ, _, err := c.ReadMessage()
+	if err != nil || typ != MsgHello {
+		t.Fatalf("hello: %v %v", typ, err)
+	}
+	typ, payload, err := c.ReadMessage()
+	if err != nil || typ != MsgSegment {
+		t.Fatalf("segment: %v %v", typ, err)
+	}
+	seg, err := DecodeSegment(payload)
+	if err != nil || seg.Start != 42 || len(seg.Samples) != 3000 {
+		t.Fatalf("segment decode: %v %+v", err, seg.Start)
+	}
+	typ, _, err = c.ReadMessage()
+	if err != nil || typ != MsgBye {
+		t.Fatalf("bye: %v %v", typ, err)
+	}
+	if err := <-done; err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package bits
+
+// DiagonalInterleave implements the LoRa-style diagonal interleaver. A block
+// of sf codewords of cw bits each (sf rows × cw columns) is transposed with
+// a per-column diagonal rotation, producing cw symbols of sf bits each:
+//
+//	out[col][row] = in[(row+col) mod sf][col]
+//
+// The interleaver spreads each codeword across many symbols so that one
+// corrupted symbol damages at most one bit of each codeword, which the
+// Hamming FEC can then repair.
+//
+// Input is a flat bit slice of length sf*cw (row-major: codeword 0 first);
+// output is a flat bit slice of length cw*sf (symbol 0 first, MSB first).
+func DiagonalInterleave(in []byte, sf, cw int) []byte {
+	if len(in) != sf*cw {
+		panic("bits: interleaver input must be sf*cw bits")
+	}
+	out := make([]byte, cw*sf)
+	for col := 0; col < cw; col++ {
+		for row := 0; row < sf; row++ {
+			out[col*sf+row] = in[((row+col)%sf)*cw+col]
+		}
+	}
+	return out
+}
+
+// DiagonalDeinterleave inverts DiagonalInterleave.
+func DiagonalDeinterleave(in []byte, sf, cw int) []byte {
+	if len(in) != sf*cw {
+		panic("bits: deinterleaver input must be sf*cw bits")
+	}
+	out := make([]byte, sf*cw)
+	for col := 0; col < cw; col++ {
+		for row := 0; row < sf; row++ {
+			out[((row+col)%sf)*cw+col] = in[col*sf+row]
+		}
+	}
+	return out
+}
+
+// SymbolsFromBits groups a flat bit slice into unsigned symbol values of
+// width bits each (MSB first). Trailing bits that do not fill a symbol are
+// dropped.
+func SymbolsFromBits(in []byte, width int) []uint32 {
+	n := len(in) / width
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		var v uint32
+		for j := 0; j < width; j++ {
+			v = v<<1 | uint32(in[i*width+j]&1)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// BitsFromSymbols expands symbol values into width bits each (MSB first).
+func BitsFromSymbols(symbols []uint32, width int) []byte {
+	out := make([]byte, 0, len(symbols)*width)
+	for _, s := range symbols {
+		for j := width - 1; j >= 0; j-- {
+			out = append(out, byte((s>>uint(j))&1))
+		}
+	}
+	return out
+}

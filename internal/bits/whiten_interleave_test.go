@@ -1,0 +1,147 @@
+package bits
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWhitenerInvolution(t *testing.T) {
+	for _, mk := range []func() *Whitener{NewLoRaWhitener, NewDC9Whitener} {
+		if err := quick.Check(func(data []byte) bool {
+			w1, w2 := mk(), mk()
+			enc := w1.ApplyBytes(data)
+			dec := w2.ApplyBytes(enc)
+			return bytes.Equal(dec, data)
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWhitenerReset(t *testing.T) {
+	w := NewLoRaWhitener()
+	first := make([]byte, 32)
+	for i := range first {
+		first[i] = w.NextBit()
+	}
+	w.Reset()
+	for i := range first {
+		if w.NextBit() != first[i] {
+			t.Fatalf("keystream differs after reset at bit %d", i)
+		}
+	}
+}
+
+func TestWhitenerBalanced(t *testing.T) {
+	// Keystream should be roughly balanced between 0s and 1s.
+	for name, mk := range map[string]func() *Whitener{"lora": NewLoRaWhitener, "pn9": NewDC9Whitener} {
+		w := mk()
+		ones := 0
+		const n = 4096
+		for i := 0; i < n; i++ {
+			ones += int(w.NextBit())
+		}
+		if ones < n*4/10 || ones > n*6/10 {
+			t.Fatalf("%s keystream ones=%d of %d", name, ones, n)
+		}
+	}
+}
+
+func TestWhitenerPeriod(t *testing.T) {
+	// PN9 has period 511; the state must return to the seed after 511 steps
+	// and not before half that.
+	w := NewDC9Whitener()
+	seed := w.state
+	period := 0
+	for i := 1; i <= 1<<12; i++ {
+		w.NextBit()
+		if w.state == seed {
+			period = i
+			break
+		}
+	}
+	if period != 511 {
+		t.Fatalf("PN9 period %d, want 511", period)
+	}
+}
+
+func TestDiagonalInterleaveRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed int64, sfRaw, crRaw uint8) bool {
+		sf := int(sfRaw%6) + 7 // 7..12
+		cw := int(crRaw%4) + 5 // 5..8
+		in := make([]byte, sf*cw)
+		s := uint64(seed)
+		for i := range in {
+			s = s*6364136223846793005 + 1442695040888963407
+			in[i] = byte(s >> 63)
+		}
+		out := DiagonalDeinterleave(DiagonalInterleave(in, sf, cw), sf, cw)
+		return bytes.Equal(out, in)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagonalInterleaveSpreadsSymbols(t *testing.T) {
+	// Corrupting one interleaved symbol (sf bits) must damage at most one
+	// bit of each codeword.
+	sf, cw := 8, 5
+	in := make([]byte, sf*cw) // all zeros
+	inter := DiagonalInterleave(in, sf, cw)
+	// corrupt symbol 2 entirely
+	for row := 0; row < sf; row++ {
+		inter[2*sf+row] ^= 1
+	}
+	out := DiagonalDeinterleave(inter, sf, cw)
+	for row := 0; row < sf; row++ {
+		errs := 0
+		for col := 0; col < cw; col++ {
+			if out[row*cw+col] != 0 {
+				errs++
+			}
+		}
+		if errs > 1 {
+			t.Fatalf("codeword %d has %d errors after one-symbol corruption", row, errs)
+		}
+	}
+}
+
+func TestInterleavePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad length should panic")
+		}
+	}()
+	DiagonalInterleave(make([]byte, 10), 7, 5)
+}
+
+func TestSymbolsBitsRoundTrip(t *testing.T) {
+	if err := quick.Check(func(raw []uint32, widthRaw uint8) bool {
+		width := int(widthRaw%12) + 1
+		symbols := make([]uint32, len(raw))
+		mask := uint32(1)<<uint(width) - 1
+		for i, v := range raw {
+			symbols[i] = v & mask
+		}
+		got := SymbolsFromBits(BitsFromSymbols(symbols, width), width)
+		if len(got) != len(symbols) {
+			return false
+		}
+		for i := range got {
+			if got[i] != symbols[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolsFromBitsDropsPartial(t *testing.T) {
+	got := SymbolsFromBits([]byte{1, 0, 1, 1, 1}, 2)
+	if len(got) != 2 || got[0] != 0b10 || got[1] != 0b11 {
+		t.Fatalf("symbols = %v", got)
+	}
+}

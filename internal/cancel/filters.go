@@ -1,0 +1,306 @@
+// Package cancel implements GalioT's cloud-side collision decoding (paper
+// Sec. 5): the three modulation-class "kill" filters — KILL-FREQUENCY for
+// FSK/PSK, KILL-CSS for chirp spread spectrum and KILL-CODES for DSSS —
+// plus successive interference cancellation (SIC) and the combined
+// CloudDecode procedure of Algorithm 1 that wraps SIC around the filters.
+//
+// A kill filter removes one technology's energy from a collision without
+// needing to decode it, exploiting where that technology's modulation
+// concentrates energy: FSK at discrete tones, CSS along a known chirp
+// trajectory (which dechirping collapses to narrow tones), DSSS inside a
+// low-dimensional code subspace. After the interferer is killed, the
+// remaining technology is decoded normally; SIC then reconstructs and
+// subtracts it from the original samples so the killed technology can be
+// recovered as well.
+package cancel
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/phy"
+)
+
+// KillFrequency notches the given tone offsets (Hz from band center) out of
+// rx, removing ±width/2 around each tone in the frequency domain. It
+// returns a new slice. This is the paper's KILL-FREQUENCY filter: FSK
+// modulations such as Z-Wave's BFSK and XBee's GFSK concentrate energy at
+// two discrete tones (for modulation index 1, half the transmit power sits
+// in spectral lines at ±deviation), and PSK concentrates energy in a narrow
+// band at the center, so zeroing those regions eliminates most of the
+// interferer while sparing wideband neighbors.
+func KillFrequency(rx []complex128, tones []float64, width, fs float64) []complex128 {
+	n := len(rx)
+	if n == 0 || len(tones) == 0 || width <= 0 {
+		return dsp.Clone(rx)
+	}
+	spec := dsp.FFT(rx)
+	binHz := fs / float64(n)
+	half := width / 2
+	for _, tone := range tones {
+		lo := int(math.Floor((tone - half) / binHz))
+		hi := int(math.Ceil((tone + half) / binHz))
+		for b := lo; b <= hi; b++ {
+			idx := ((b % n) + n) % n
+			spec[idx] = 0
+		}
+	}
+	return dsp.IFFT(spec)
+}
+
+// FSKKillWidth returns the notch width used to kill an FSK technology with
+// the given bit rate: 0.3× the bit rate around each tone. For modulation
+// index 1 (Sunde's FSK, used by both the XBee and Z-Wave profiles here)
+// half the transmit power sits in discrete spectral lines at ±deviation;
+// this width removes the lines and their immediate skirt while staying
+// narrow enough not to flatten a neighboring technology's tones — measured
+// empirically in the cancel tests, widths up to ~0.6× the victim's own
+// bandwidth separation stay safe.
+func FSKKillWidth(bitRate float64) float64 { return 0.3 * bitRate }
+
+// KillNarrowband removes a band of the given width centered at offset Hz —
+// the PSK variant of KILL-FREQUENCY.
+func KillNarrowband(rx []complex128, center, width, fs float64) []complex128 {
+	return KillFrequency(rx, []float64{center}, width, fs)
+}
+
+// CSSKiller removes chirp-spread-spectrum energy. It multiplies the capture
+// by a free-running train of base downchirps, which collapses any CSS
+// symbol energy (whatever its data value or alignment) onto at most two
+// narrow tones per chirp period; those dominant tones are then notched
+// block-by-block, and the remainder is re-chirped, restoring every
+// non-CSS signal. This is the paper's KILL-CSS filter — it needs no CSS
+// symbol synchronization and never decodes the LoRa transmission.
+type CSSKiller struct {
+	tech phy.ChirpTechnology
+	// MaxNotchPerBlock bounds how many FFT bins are cleared per chirp
+	// period (each LoRa symbol contributes at most 2 dechirped tones, and
+	// misalignment doubles that; the default 8 leaves headroom for strong
+	// multipath-like leakage).
+	MaxNotchPerBlock int
+	// DominanceDB is how far above the block's median a bin must sit to be
+	// considered CSS energy (default 12 dB).
+	DominanceDB float64
+}
+
+// NewCSSKiller returns a KILL-CSS filter for the given chirp technology.
+func NewCSSKiller(tech phy.ChirpTechnology) *CSSKiller {
+	return &CSSKiller{tech: tech, MaxNotchPerBlock: 8, DominanceDB: 12}
+}
+
+// Apply runs the filter, returning a new slice.
+func (k *CSSKiller) Apply(rx []complex128, fs float64) []complex128 {
+	bw := k.tech.ChirpBandwidth()
+	chips := 1 << uint(k.tech.SpreadingFactor())
+	osr := int(math.Round(fs / bw))
+	if osr < 1 {
+		return dsp.Clone(rx)
+	}
+	n := chips * osr // samples per chirp period
+	if len(rx) < n {
+		return dsp.Clone(rx)
+	}
+	down := baseChirp(false, chips, osr, bw, fs)
+	up := baseChirp(true, chips, osr, bw, fs)
+
+	out := dsp.Clone(rx)
+	threshold := dsp.FromDB(k.DominanceDB)
+	for start := 0; start+n <= len(out); start += n {
+		block := out[start : start+n]
+		// dechirp
+		for i := range block {
+			block[i] *= down[i]
+		}
+		spec := dsp.FFT(block)
+		mags := dsp.AbsSq(spec)
+		med := medianFloat(mags)
+		if med <= 0 {
+			med = 1e-30
+		}
+		// notch the dominant narrow tones
+		type bin struct {
+			idx int
+			mag float64
+		}
+		var hot []bin
+		for i, m := range mags {
+			if m > med*threshold {
+				hot = append(hot, bin{i, m})
+			}
+		}
+		if len(hot) > 0 {
+			// strongest first, capped
+			sort.Slice(hot, func(a, b int) bool { return hot[a].mag > hot[b].mag })
+			if len(hot) > k.MaxNotchPerBlock {
+				hot = hot[:k.MaxNotchPerBlock]
+			}
+			for _, h := range hot {
+				// clear the bin and one neighbor each side (fractional
+				// frequency leakage)
+				for d := -1; d <= 1; d++ {
+					spec[((h.idx+d)%len(spec)+len(spec))%len(spec)] = 0
+				}
+			}
+			cleaned := dsp.IFFT(spec)
+			copy(block, cleaned)
+		}
+		// re-chirp
+		for i := range block {
+			block[i] *= up[i]
+		}
+	}
+	// The tail shorter than one chirp period is left untouched.
+	return out
+}
+
+// baseChirp synthesizes one chirp period (duplicated from the lora package
+// to keep cancel independent of any single PHY implementation; the chirp is
+// fully determined by SF, BW and fs).
+func baseChirp(upDir bool, chips, osr int, bw, fs float64) []complex128 {
+	n := chips * osr
+	out := make([]complex128, n)
+	phase := 0.0
+	for i := 0; i < n; i++ {
+		f := -bw/2 + bw*float64(i%n)/float64(n)
+		if !upDir {
+			f = -f
+		}
+		s, c := math.Sincos(phase)
+		out[i] = complex(c, s)
+		phase += 2 * math.Pi * f / fs
+		if phase > math.Pi {
+			phase -= 2 * math.Pi
+		} else if phase < -math.Pi {
+			phase += 2 * math.Pi
+		}
+	}
+	if !upDir {
+		return out
+	}
+	return out
+}
+
+// KillCodes projects DSSS transmissions out of the capture. The filter
+// synchronizes to the coded technology's preamble, then for every symbol
+// slot projects the received chip-rate samples onto each of the known
+// spreading-code waveforms and subtracts the strongest projection. Because
+// the code waveforms are (quasi-)orthogonal, other technologies lose almost
+// no energy. If the coded technology's preamble is not present above
+// minQuality, rx is returned unchanged.
+func KillCodes(rx []complex128, tech phy.CodedTechnology, fs float64, minQuality float64) []complex128 {
+	codes := tech.ChipCodes()
+	if len(codes) == 0 {
+		return dsp.Clone(rx)
+	}
+	pre := tech.Preamble(fs)
+	if len(pre) == 0 || len(rx) < len(pre) {
+		return dsp.Clone(rx)
+	}
+	metric := dsp.NormalizedCorrelate(rx, pre)
+	pk := dsp.MaxPeak(metric)
+	if pk.Index < 0 || pk.Value < minQuality {
+		return dsp.Clone(rx)
+	}
+	start := pk.Index
+
+	// Build the 16 per-symbol code waveforms once.
+	waves := codeWaveforms(tech, fs)
+	if len(waves) == 0 {
+		return dsp.Clone(rx)
+	}
+	symLen := len(waves[0])
+	out := dsp.Clone(rx)
+	// Walk symbol slots from the sync point until projections stop finding
+	// significant energy (end of the coded burst).
+	misses := 0
+	for pos := start; pos+symLen <= len(out) && misses < 4; pos += symLen {
+		seg := out[pos : pos+symLen]
+		segE := dsp.Energy(seg)
+		if segE == 0 {
+			misses++
+			continue
+		}
+		bestGain := complex(0, 0)
+		bestIdx := -1
+		bestFrac := 0.0
+		for ci, w := range waves {
+			var proj complex128
+			for i := range seg {
+				proj += seg[i] * complex(real(w[i]), -imag(w[i]))
+			}
+			wE := dsp.Energy(w)
+			if wE == 0 {
+				continue
+			}
+			gain := proj / complex(wE, 0)
+			captured := real(proj * complex(real(gain), -imag(gain))) // |proj|²/wE
+			frac := captured / segE
+			if frac > bestFrac {
+				bestFrac, bestGain, bestIdx = frac, gain, ci
+			}
+		}
+		// Only subtract when the code subspace explains a meaningful share
+		// of the slot energy; otherwise we are past the burst.
+		if bestIdx < 0 || bestFrac < 0.2 {
+			misses++
+			continue
+		}
+		misses = 0
+		w := waves[bestIdx]
+		for i := range seg {
+			seg[i] -= bestGain * w[i]
+		}
+	}
+	return out
+}
+
+// codeWaveforms renders each spreading code as a baseband waveform using
+// the technology's own modulator conventions: O-QPSK half-sine, even chips
+// on I, odd on Q. The waveform spans one symbol (32 chips) plus the
+// trailing half-pulse.
+func codeWaveforms(tech phy.CodedTechnology, fs float64) [][]complex128 {
+	codes := tech.ChipCodes()
+	spcF := fs / tech.ChipRate()
+	spc := int(math.Round(spcF))
+	if spc < 2 || math.Abs(spcF-float64(spc)) > 1e-9 {
+		return nil
+	}
+	nChips := len(codes[0])
+	symLen := nChips * spc
+	pulse := make([]float64, 2*spc)
+	for t := range pulse {
+		pulse[t] = math.Sin(math.Pi * float64(t) / float64(2*spc))
+	}
+	out := make([][]complex128, len(codes))
+	for ci, code := range codes {
+		w := make([]complex128, symLen)
+		for i, chip := range code {
+			d := float64(2*int(chip) - 1)
+			startSample := i * spc
+			for t, p := range pulse {
+				idx := startSample + t
+				if idx >= symLen {
+					break
+				}
+				if i%2 == 0 {
+					w[idx] += complex(d*p, 0)
+				} else {
+					w[idx] += complex(0, d*p)
+				}
+			}
+		}
+		out[ci] = w
+	}
+	return out
+}
+
+func medianFloat(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	c := make([]float64, len(v))
+	copy(c, v)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}

@@ -1,0 +1,177 @@
+// Package cloud implements GalioT's cloud decoder service: it receives
+// detected I/Q segments from gateways over the backhaul protocol, runs the
+// Algorithm-1 collision decoder (SIC wrapped around the kill filters) on
+// each, and returns the recovered frames. The same decoding engine is
+// exposed as a library (Service.DecodeSegment) and as a TCP server.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/backhaul"
+	"repro/internal/cancel"
+	"repro/internal/phy"
+)
+
+// Service decodes shipped segments.
+type Service struct {
+	Techs []phy.Technology
+	// Logf receives per-segment diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	decoded int
+	stats   cancel.Stats
+}
+
+// NewService returns a decoder service over the given technologies.
+func NewService(techs []phy.Technology) *Service {
+	return &Service{Techs: techs}
+}
+
+// DecodeSegment runs the collision decoder on one shipped segment and
+// returns a report with absolute offsets.
+func (s *Service) DecodeSegment(seg backhaul.Segment) backhaul.FramesReport {
+	dec := cancel.NewDecoder(s.Techs, seg.SampleRate)
+	frames, stats := dec.Decode(seg.Samples)
+	report := backhaul.FramesReport{SegmentStart: seg.Start}
+	for _, f := range frames {
+		report.Frames = append(report.Frames, backhaul.FrameReport{
+			Tech:    f.Tech,
+			Payload: f.Payload,
+			CRCOK:   f.CRCOK,
+			Offset:  seg.Start + int64(f.Offset),
+			SNRdB:   f.SNRdB,
+		})
+	}
+	s.mu.Lock()
+	s.decoded += len(frames)
+	s.stats.SICRounds += stats.SICRounds
+	s.stats.KillFreq += stats.KillFreq
+	s.stats.KillCSS += stats.KillCSS
+	s.stats.KillCodes += stats.KillCodes
+	s.stats.FailedDecode += stats.FailedDecode
+	s.mu.Unlock()
+	if s.Logf != nil {
+		s.Logf("segment @%d: %d samples -> %d frames (stats %+v)",
+			seg.Start, len(seg.Samples), len(frames), stats)
+	}
+	return report
+}
+
+// Totals returns the cumulative frame count and decoder statistics.
+func (s *Service) Totals() (int, cancel.Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decoded, s.stats
+}
+
+// ServeConn handles one gateway session over a byte stream: hello,
+// segments (each answered with a frames report), bye. It returns when the
+// gateway says bye or the stream errors.
+func (s *Service) ServeConn(rw io.ReadWriter) error {
+	conn := backhaul.NewConn(rw)
+	typ, payload, err := conn.ReadMessage()
+	if err != nil {
+		return err
+	}
+	if typ != backhaul.MsgHello {
+		return fmt.Errorf("cloud: expected hello, got message type %d", typ)
+	}
+	hello, err := backhaul.ParseHello(payload)
+	if err != nil {
+		return fmt.Errorf("cloud: bad hello: %w", err)
+	}
+	if hello.Version != backhaul.Version {
+		return fmt.Errorf("cloud: protocol version %d unsupported", hello.Version)
+	}
+	if s.Logf != nil {
+		s.Logf("session from %s (fs=%.0f, techs=%v)", hello.GatewayID, hello.SampleRate, hello.Techs)
+	}
+	for {
+		typ, payload, err := conn.ReadMessage()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch typ {
+		case backhaul.MsgSegment:
+			seg, err := backhaul.DecodeSegment(payload)
+			if err != nil {
+				return fmt.Errorf("cloud: bad segment: %w", err)
+			}
+			report := s.DecodeSegment(seg)
+			if err := conn.SendFrames(report); err != nil {
+				return err
+			}
+		case backhaul.MsgBye:
+			return conn.SendBye()
+		default:
+			return fmt.Errorf("cloud: unexpected message type %d", typ)
+		}
+	}
+}
+
+// Server is a TCP front for a Service.
+type Server struct {
+	Service *Service
+	ln      net.Listener
+	wg      sync.WaitGroup
+}
+
+// Listen starts accepting gateway connections on addr ("host:port";
+// ":0" picks a free port). Use Addr to discover the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				if err := s.Service.ServeConn(conn); err != nil && s.Service.Logf != nil {
+					s.Service.Logf("session error: %v", err)
+				}
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the listener's address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and waits for in-flight sessions.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// StdLogf adapts the standard logger for Service.Logf.
+func StdLogf(format string, args ...any) { log.Printf(format, args...) }

@@ -1,0 +1,239 @@
+package cloud
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/backhaul"
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/phy/lora"
+	"repro/internal/phy/xbee"
+	"repro/internal/phy/zwave"
+	"repro/internal/rng"
+)
+
+const fs = 1e6
+
+func techs() []phy.Technology {
+	return []phy.Technology{lora.Default(), xbee.Default(), zwave.Default()}
+}
+
+func makeSegment(t *testing.T, seed uint64) (backhaul.Segment, []byte) {
+	t.Helper()
+	gen := rng.New(seed)
+	payload := []byte("cloud test frame")
+	sig, err := xbee.Default().Modulate(payload, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := channel.Mix(len(sig)+20000, []channel.Emission{{Samples: sig, Offset: 8000, SNRdB: 15}}, gen, fs)
+	return backhaul.Segment{Start: 1_000_000, SampleRate: fs, Samples: samples}, payload
+}
+
+func TestDecodeSegment(t *testing.T) {
+	svc := NewService(techs())
+	seg, payload := makeSegment(t, 1)
+	report := svc.DecodeSegment(seg)
+	if report.SegmentStart != 1_000_000 {
+		t.Fatalf("segment start %d", report.SegmentStart)
+	}
+	if len(report.Frames) != 1 || !bytes.Equal(report.Frames[0].Payload, payload) {
+		t.Fatalf("frames %+v", report.Frames)
+	}
+	f := report.Frames[0]
+	if f.Offset < 1_000_000+7990 || f.Offset > 1_000_000+8010 {
+		t.Fatalf("absolute offset %d", f.Offset)
+	}
+	if n, _ := svc.Totals(); n != 1 {
+		t.Fatalf("totals %d", n)
+	}
+}
+
+func TestServeConnProtocol(t *testing.T) {
+	svc := NewService(techs())
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- svc.ServeConn(b) }()
+
+	conn := backhaul.NewConn(a)
+	if err := conn.SendHello(backhaul.Hello{Version: backhaul.Version, GatewayID: "t", SampleRate: fs}); err != nil {
+		t.Fatal(err)
+	}
+	seg, payload := makeSegment(t, 2)
+	if _, err := conn.SendSegment(backhaul.DefaultCodec, seg); err != nil {
+		t.Fatal(err)
+	}
+	typ, data, err := conn.ReadMessage()
+	if err != nil || typ != backhaul.MsgFrames {
+		t.Fatalf("reply %v %v", typ, err)
+	}
+	report, err := backhaul.ParseFrames(data)
+	if err != nil || len(report.Frames) != 1 || !bytes.Equal(report.Frames[0].Payload, payload) {
+		t.Fatalf("report %+v err %v", report, err)
+	}
+	if err := conn.SendBye(); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := conn.ReadMessage(); err != nil || typ != backhaul.MsgBye {
+		t.Fatalf("bye ack %v %v", typ, err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeConnRejectsBadVersion(t *testing.T) {
+	svc := NewService(techs())
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- svc.ServeConn(b) }()
+	conn := backhaul.NewConn(a)
+	if err := conn.SendHello(backhaul.Hello{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestServeConnRejectsNonHelloFirst(t *testing.T) {
+	svc := NewService(techs())
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- svc.ServeConn(b) }()
+	conn := backhaul.NewConn(a)
+	if err := conn.SendBye(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("non-hello first message accepted")
+	}
+}
+
+func TestTCPServer(t *testing.T) {
+	svc := NewService(techs())
+	srv := &Server{Service: svc}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	conn := backhaul.NewConn(nc)
+	if err := conn.SendHello(backhaul.Hello{Version: backhaul.Version, GatewayID: "tcp", SampleRate: fs}); err != nil {
+		t.Fatal(err)
+	}
+	seg, payload := makeSegment(t, 3)
+	if _, err := conn.SendSegment(backhaul.DefaultCodec, seg); err != nil {
+		t.Fatal(err)
+	}
+	typ, data, err := conn.ReadMessage()
+	if err != nil || typ != backhaul.MsgFrames {
+		t.Fatalf("%v %v", typ, err)
+	}
+	report, _ := backhaul.ParseFrames(data)
+	if len(report.Frames) != 1 || !bytes.Equal(report.Frames[0].Payload, payload) {
+		t.Fatalf("report %+v", report)
+	}
+	if err := conn.SendBye(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeConnRejectsCorruptSegment(t *testing.T) {
+	svc := NewService(techs())
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errCh := make(chan error, 1)
+	go func() { errCh <- svc.ServeConn(b) }()
+	conn := backhaul.NewConn(a)
+	if err := conn.SendHello(backhaul.Hello{Version: backhaul.Version, GatewayID: "t", SampleRate: fs}); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage segment payload: too short to carry a header.
+	if err := conn.WriteMessage(backhaul.MsgSegment, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("corrupt segment accepted")
+	}
+}
+
+func TestDecodeSegmentEmptyNoise(t *testing.T) {
+	svc := NewService(techs())
+	gen := rng.New(44)
+	samples := make([]complex128, 50000)
+	for i := range samples {
+		samples[i] = gen.Complex()
+	}
+	report := svc.DecodeSegment(backhaul.Segment{Start: 0, SampleRate: fs, Samples: samples})
+	if len(report.Frames) != 0 {
+		t.Fatalf("noise decoded into %d frames", len(report.Frames))
+	}
+}
+
+func TestTCPServerConcurrentGateways(t *testing.T) {
+	// Several gateways ship segments simultaneously; the service must
+	// handle the sessions concurrently and account all frames.
+	svc := NewService(techs())
+	srv := &Server{Service: svc}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const gateways = 3
+	errCh := make(chan error, gateways)
+	for g := 0; g < gateways; g++ {
+		go func(g int) {
+			nc, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer nc.Close()
+			conn := backhaul.NewConn(nc)
+			if err := conn.SendHello(backhaul.Hello{Version: backhaul.Version, GatewayID: "gw", SampleRate: fs}); err != nil {
+				errCh <- err
+				return
+			}
+			seg, payload := makeSegment(t, uint64(10+g))
+			if _, err := conn.SendSegment(backhaul.DefaultCodec, seg); err != nil {
+				errCh <- err
+				return
+			}
+			typ, data, err := conn.ReadMessage()
+			if err != nil || typ != backhaul.MsgFrames {
+				errCh <- err
+				return
+			}
+			report, err := backhaul.ParseFrames(data)
+			if err != nil || len(report.Frames) != 1 || !bytes.Equal(report.Frames[0].Payload, payload) {
+				errCh <- err
+				return
+			}
+			errCh <- conn.SendBye()
+		}(g)
+	}
+	for g := 0; g < gateways; g++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := svc.Totals(); n != gateways {
+		t.Fatalf("decoded %d frames across %d gateways", n, gateways)
+	}
+}

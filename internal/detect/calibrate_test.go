@@ -1,0 +1,85 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+func TestCalibrateThresholdControlsFalseAlarms(t *testing.T) {
+	uni, err := NewUniversal(threeTechs(), fs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := rng.New(1)
+	cal := CalibrateThreshold(uni, 1<<17, 8, 0.1, gen)
+	if cal.Threshold <= 0 || cal.Threshold > 1 {
+		t.Fatalf("calibrated threshold %v out of range", cal.Threshold)
+	}
+	if !ApplyCalibration(uni, cal) {
+		t.Fatal("apply failed")
+	}
+	// Fresh noise captures must rarely trigger.
+	falseAlarms := 0
+	const trials = 10
+	verify := rng.New(2)
+	for i := 0; i < trials; i++ {
+		noise := channel.AWGN(1<<17, verify.Split(uint64(i)))
+		if len(uni.Detect(noise)) > 0 {
+			falseAlarms++
+		}
+	}
+	if falseAlarms > 3 {
+		t.Fatalf("%d/%d captures false-alarmed at 10%% budget", falseAlarms, trials)
+	}
+	// A real packet above the noise must still be detected.
+	sig, _ := threeTechs()[0].Modulate([]byte{1, 2, 3, 4}, fs)
+	rx := channel.Mix(len(sig)+40000, []channel.Emission{{Samples: sig, Offset: 10000, SNRdB: 0}}, verify, fs)
+	if len(uni.Detect(rx)) == 0 {
+		t.Fatal("calibrated detector missed a 0 dB LoRa packet")
+	}
+}
+
+func TestCalibrateEnergyDetector(t *testing.T) {
+	e := NewEnergy(1024, 0)
+	gen := rng.New(3)
+	cal := CalibrateThreshold(e, 1<<16, 6, 0.1, gen)
+	if cal.Threshold <= 0 {
+		t.Fatalf("energy threshold %v", cal.Threshold)
+	}
+	if !ApplyCalibration(e, cal) {
+		t.Fatal("apply failed")
+	}
+	// the calibrated threshold is in dB over the noise floor; it should be
+	// small (noise fluctuations of a 1024-sample mean are well under 1 dB)
+	if cal.Threshold > 3 {
+		t.Fatalf("energy calibration %v dB implausibly high", cal.Threshold)
+	}
+}
+
+func TestApplyCalibrationUnknownDetector(t *testing.T) {
+	if ApplyCalibration(nil, Calibration{}) {
+		t.Fatal("nil detector should not be calibratable")
+	}
+}
+
+func TestCalibrationDefensiveDefaults(t *testing.T) {
+	uni, _ := NewUniversal(threeTechs(), fs, 0)
+	gen := rng.New(4)
+	cal := CalibrateThreshold(uni, 0, 0, -1, gen) // all defaults kick in
+	if cal.FalseRate != 0.05 {
+		t.Fatalf("%+v", cal)
+	}
+	// 1024-sample captures are shorter than the universal template, so the
+	// defensive path must return a never-firing threshold.
+	if !math.IsInf(cal.Threshold, 1) {
+		t.Fatalf("threshold %v, want +Inf for uncalibratable detector", cal.Threshold)
+	}
+	// With adequate captures the defaults calibrate normally.
+	cal2 := CalibrateThreshold(uni, 1<<16, 0, -1, gen)
+	if cal2.Threshold <= 0 || math.IsInf(cal2.Threshold, 1) {
+		t.Fatalf("%+v", cal2)
+	}
+}

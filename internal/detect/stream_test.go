@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/phy/xbee"
+	"repro/internal/rng"
+)
+
+// streamSetup builds a universal detector stream over the three prototype
+// technologies with the xbee max packet (small, keeps tests fast).
+func streamSetup(t *testing.T) (*Stream, int) {
+	t.Helper()
+	techs := threeTechs()
+	det, err := NewUniversal(techs, fs, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPacket := 0
+	for _, tech := range techs {
+		if n := tech.MaxPacketSamples(fs); n > maxPacket {
+			maxPacket = n
+		}
+	}
+	return NewStream(det, maxPacket), maxPacket
+}
+
+func covers(segs []StreamSegment, start, length int64) bool {
+	for _, s := range segs {
+		if s.Start <= start && s.Start+int64(len(s.Samples)) >= start+length {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStreamSinglePacketWithinCapture(t *testing.T) {
+	stream, _ := streamSetup(t)
+	gen := rng.New(1)
+	sig, _ := xbee.Default().Modulate([]byte{1, 2, 3, 4, 5, 6, 7, 8}, fs)
+	capture := channel.Mix(len(sig)+400000, []channel.Emission{{Samples: sig, Offset: 100000, SNRdB: 12}}, gen, fs)
+	segs := stream.Push(capture)
+	segs = append(segs, stream.Flush()...)
+	if !covers(segs, 100000, int64(len(sig))) {
+		t.Fatalf("packet not covered by %d segments", len(segs))
+	}
+}
+
+func TestStreamPacketStraddlesBoundary(t *testing.T) {
+	stream, _ := streamSetup(t)
+	gen := rng.New(2)
+	sig, _ := xbee.Default().Modulate([]byte{9, 8, 7, 6, 5, 4, 3, 2}, fs)
+	// full scene: packet centered on the boundary between two captures
+	total := 600000
+	boundary := 300000
+	pktStart := boundary - len(sig)/2
+	scene := channel.Mix(total, []channel.Emission{{Samples: sig, Offset: pktStart, SNRdB: 12}}, gen, fs)
+	var segs []StreamSegment
+	segs = append(segs, stream.Push(scene[:boundary])...)
+	segs = append(segs, stream.Push(scene[boundary:])...)
+	segs = append(segs, stream.Flush()...)
+	if !covers(segs, int64(pktStart), int64(len(sig))) {
+		t.Fatalf("straddling packet not covered (segments: %d)", len(segs))
+	}
+}
+
+func TestStreamNoDuplicateSamples(t *testing.T) {
+	stream, _ := streamSetup(t)
+	gen := rng.New(3)
+	sig, _ := xbee.Default().Modulate([]byte{1, 1, 2, 2}, fs)
+	scene := channel.Mix(500000, []channel.Emission{
+		{Samples: sig, Offset: 50000, SNRdB: 14},
+		{Samples: sig, Offset: 350000, SNRdB: 14},
+	}, gen, fs)
+	var segs []StreamSegment
+	for off := 0; off < len(scene); off += 125000 {
+		end := off + 125000
+		if end > len(scene) {
+			end = len(scene)
+		}
+		segs = append(segs, stream.Push(scene[off:end])...)
+	}
+	segs = append(segs, stream.Flush()...)
+	// emitted sample ranges must be disjoint and ordered
+	var prevEnd int64 = -1
+	for _, s := range segs {
+		if s.Start < prevEnd {
+			t.Fatalf("segment [%d, ...) overlaps previous end %d", s.Start, prevEnd)
+		}
+		prevEnd = s.Start + int64(len(s.Samples))
+	}
+}
+
+func TestStreamQuietStreamEmitsNothing(t *testing.T) {
+	stream, _ := streamSetup(t)
+	gen := rng.New(4)
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += len(stream.Push(channel.AWGN(200000, gen)))
+	}
+	total += len(stream.Flush())
+	if total > 1 {
+		t.Fatalf("noise-only stream emitted %d segments", total)
+	}
+}
+
+func TestStreamTrimBoundsMemory(t *testing.T) {
+	stream, maxPacket := streamSetup(t)
+	gen := rng.New(5)
+	for i := 0; i < 6; i++ {
+		stream.Push(channel.AWGN(300000, gen))
+	}
+	if stream.Pending() > 2*maxPacket {
+		t.Fatalf("buffer grew to %d (max packet %d)", stream.Pending(), maxPacket)
+	}
+}

@@ -1,0 +1,243 @@
+package dsp
+
+import "math"
+
+// CrossCorrelate returns the sliding cross-correlation of x against the
+// reference template ref:
+//
+//	out[k] = Σ_j x[k+j] · conj(ref[j]),  k in [0, len(x)-len(ref)]
+//
+// This is the matched-filter output used for preamble detection. The method
+// switches to FFT-based correlation for large inputs. It returns nil when
+// ref is longer than x or either is empty.
+func CrossCorrelate(x, ref []complex128) []complex128 {
+	n, k := len(x), len(ref)
+	if k == 0 || n < k {
+		return nil
+	}
+	outLen := n - k + 1
+	if n*k <= 1<<17 {
+		out := make([]complex128, outLen)
+		for i := 0; i < outLen; i++ {
+			var acc complex128
+			seg := x[i : i+k]
+			for j, r := range ref {
+				acc += seg[j] * complex(real(r), -imag(r))
+			}
+			out[i] = acc
+		}
+		return out
+	}
+	// FFT method: linear cross-correlation equals IFFT(X · conj(R)) after
+	// zero-padding both vectors to at least n+k-1.
+	m := NextPow2(n + k - 1)
+	fx := make([]complex128, m)
+	copy(fx, x)
+	fr := make([]complex128, m)
+	copy(fr, ref)
+	FFTInPlace(fx)
+	FFTInPlace(fr)
+	for i := range fx {
+		fx[i] *= complex(real(fr[i]), -imag(fr[i]))
+	}
+	IFFTInPlace(fx)
+	// Correlation lag k corresponds to output index k.
+	out := make([]complex128, outLen)
+	copy(out, fx[:outLen])
+	return out
+}
+
+// NormalizedCorrelate returns |CrossCorrelate| normalized by the local
+// energy of x and the energy of ref, giving values in [0, 1] where 1 means a
+// perfect (scaled) match. This normalization makes the detector threshold
+// independent of signal and noise power, which is what lets the GalioT
+// gateway detect packets buried below the noise floor without tracking the
+// noise level.
+func NormalizedCorrelate(x, ref []complex128) []float64 {
+	n, k := len(x), len(ref)
+	corr := CrossCorrelate(x, ref)
+	if corr == nil {
+		return nil
+	}
+	refE := Energy(ref)
+	if refE == 0 {
+		return make([]float64, len(corr))
+	}
+	// Sliding window energy of x.
+	out := make([]float64, len(corr))
+	var winE float64
+	for j := 0; j < k; j++ {
+		v := x[j]
+		winE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	for i := range out {
+		den := math.Sqrt(winE * refE)
+		if den > 0 {
+			c := corr[i]
+			out[i] = math.Hypot(real(c), imag(c)) / den
+		}
+		if i+k < n {
+			a, b := x[i+k], x[i]
+			winE += real(a)*real(a) + imag(a)*imag(a)
+			winE -= real(b)*real(b) + imag(b)*imag(b)
+			if winE < 0 {
+				winE = 0
+			}
+		}
+	}
+	return out
+}
+
+// NormalizedCorrelateReal returns the sliding normalized cross-correlation
+// of the real sequence x against template ref, with the local mean of each
+// window (and the template mean) removed first:
+//
+//	out[k] = Σ (x[k+j]-μx)(ref[j]-μr) / √(Σ(x[k+j]-μx)² · Σ(ref[j]-μr)²)
+//
+// Values lie in [-1, 1]. Mean removal makes the metric invariant to any DC
+// offset of x — exactly what frequency-discriminator synchronization needs,
+// since a carrier frequency offset appears there as a constant bias.
+func NormalizedCorrelateReal(x, ref []float64) []float64 {
+	n, k := len(x), len(ref)
+	if k == 0 || n < k {
+		return nil
+	}
+	var refMean float64
+	for _, v := range ref {
+		refMean += v
+	}
+	refMean /= float64(k)
+	refC := make([]float64, k)
+	var refE float64
+	for i, v := range ref {
+		refC[i] = v - refMean
+		refE += refC[i] * refC[i]
+	}
+	outLen := n - k + 1
+	out := make([]float64, outLen)
+	if refE == 0 {
+		return out
+	}
+	// All sliding dot products at once via FFT correlation. Since
+	// Σ refC = 0, Σ x·refC equals Σ (x-μ)·refC for any window mean μ.
+	cx := make([]complex128, n)
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	cr := make([]complex128, k)
+	for i, v := range refC {
+		cr[i] = complex(v, 0)
+	}
+	dots := CrossCorrelate(cx, cr)
+	// sliding sums for window mean and energy
+	var winSum, winSq float64
+	for j := 0; j < k; j++ {
+		winSum += x[j]
+		winSq += x[j] * x[j]
+	}
+	for i := 0; i < outLen; i++ {
+		mu := winSum / float64(k)
+		winE := winSq - float64(k)*mu*mu
+		if winE > 0 {
+			out[i] = real(dots[i]) / math.Sqrt(winE*refE)
+		}
+		if i+k < n {
+			a, b := x[i+k], x[i]
+			winSum += a - b
+			winSq += a*a - b*b
+		}
+	}
+	return out
+}
+
+// AutoCorrelate returns the autocorrelation of x at lags [0, maxLag].
+func AutoCorrelate(x []complex128, maxLag int) []complex128 {
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	out := make([]complex128, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		var acc complex128
+		for i := 0; i+lag < len(x); i++ {
+			v := x[i+lag]
+			acc += v * complex(real(x[i]), -imag(x[i]))
+		}
+		out[lag] = acc
+	}
+	return out
+}
+
+// Peak describes a local maximum in a detection metric.
+type Peak struct {
+	Index int     // sample index of the maximum
+	Value float64 // metric value at the maximum
+}
+
+// FindPeaks returns all local maxima of metric that exceed threshold, with
+// non-maximum suppression over a guard of minDistance samples: of any two
+// peaks closer than minDistance, only the larger survives. Peaks are
+// returned in index order.
+func FindPeaks(metric []float64, threshold float64, minDistance int) []Peak {
+	if minDistance < 1 {
+		minDistance = 1
+	}
+	var peaks []Peak
+	for i := range metric {
+		v := metric[i]
+		if v < threshold {
+			continue
+		}
+		// local maximum over [i-1, i+1]
+		if i > 0 && metric[i-1] > v {
+			continue
+		}
+		if i+1 < len(metric) && metric[i+1] >= v {
+			continue
+		}
+		if n := len(peaks); n > 0 && i-peaks[n-1].Index < minDistance {
+			if v > peaks[n-1].Value {
+				peaks[n-1] = Peak{Index: i, Value: v}
+			}
+			continue
+		}
+		peaks = append(peaks, Peak{Index: i, Value: v})
+	}
+	return peaks
+}
+
+// MaxPeak returns the global maximum of metric as a Peak, or a Peak with
+// Index -1 if metric is empty.
+func MaxPeak(metric []float64) Peak {
+	best := Peak{Index: -1}
+	for i, v := range metric {
+		if v > best.Value || best.Index < 0 {
+			best = Peak{Index: i, Value: v}
+		}
+	}
+	return best
+}
+
+// ParabolicInterp refines a peak location using three-point parabolic
+// interpolation around index i of metric. It returns the fractional offset
+// in (-0.5, 0.5) to add to i; 0 when i is at a boundary or the curvature is
+// degenerate.
+func ParabolicInterp(metric []float64, i int) float64 {
+	if i <= 0 || i+1 >= len(metric) {
+		return 0
+	}
+	a, b, c := metric[i-1], metric[i], metric[i+1]
+	den := a - 2*b + c
+	if den == 0 {
+		return 0
+	}
+	d := 0.5 * (a - c) / den
+	if d > 0.5 {
+		d = 0.5
+	} else if d < -0.5 {
+		d = -0.5
+	}
+	return d
+}

@@ -1,0 +1,213 @@
+// Package dsp implements the digital signal processing primitives that the
+// rest of the GalioT reproduction is built on: FFTs, FIR filtering,
+// correlation, windowing, resampling and spectral estimation, all operating
+// on complex-baseband sample vectors ([]complex128).
+//
+// The package is pure Go with no dependencies outside the standard library.
+// Algorithms favor clarity and numerical robustness over absolute speed, but
+// the FFT-based paths (correlation, filtering of long vectors) are fast
+// enough to run the paper's full SNR sweeps in seconds.
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// fftPlan caches the twiddle factors and bit-reversal permutation for a
+// power-of-two FFT of a fixed size.
+type fftPlan struct {
+	n       int
+	twiddle []complex128 // e^{-2πik/n} for k in [0, n/2)
+	rev     []int
+}
+
+var planCache sync.Map // map[int]*fftPlan
+
+func getPlan(n int) *fftPlan {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*fftPlan)
+	}
+	p := newPlan(n)
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*fftPlan)
+}
+
+func newPlan(n int) *fftPlan {
+	p := &fftPlan{n: n}
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.twiddle[k] = complex(c, s)
+	}
+	p.rev = make([]int, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n. It panics for n <= 0.
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPow2 of non-positive length")
+	}
+	if IsPow2(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Any length is accepted: powers of two use an in-place radix-2
+// algorithm, other lengths use Bluestein's algorithm (so the cost stays
+// O(n log n)).
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	FFTInPlace(out)
+	return out
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, scaled by 1/n so
+// that IFFT(FFT(x)) == x. The input is not modified.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	IFFTInPlace(out)
+	return out
+}
+
+// FFTInPlace computes the DFT of x in place.
+func FFTInPlace(x []complex128) {
+	n := len(x)
+	switch {
+	case n <= 1:
+	case IsPow2(n):
+		radix2(x)
+	default:
+		bluestein(x)
+	}
+}
+
+// IFFTInPlace computes the inverse DFT of x in place (with 1/n scaling).
+func IFFTInPlace(x []complex128) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// IFFT(x) = conj(FFT(conj(x))) / n
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+	FFTInPlace(x)
+	inv := 1 / float64(n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+	}
+}
+
+// radix2 is the iterative Cooley-Tukey decimation-in-time FFT for
+// power-of-two lengths.
+func radix2(x []complex128) {
+	n := len(x)
+	p := getPlan(n)
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				tw += step
+				t := w * x[k+half]
+				x[k+half] = x[k] - t
+				x[k] = x[k] + t
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, which is in
+// turn computed with power-of-two FFTs (chirp-z transform).
+func bluestein(x []complex128) {
+	n := len(x)
+	m := NextPow2(2*n - 1)
+
+	// w[k] = e^{-iπk²/n}; indices are taken mod 2n to stay exact.
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		j := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(-math.Pi * float64(j) / float64(n))
+		w[k] = complex(c, s)
+	}
+
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		bc := complex(real(w[k]), -imag(w[k])) // conj
+		b[k] = bc
+		if k > 0 {
+			b[m-k] = bc
+		}
+	}
+	radix2(a)
+	radix2(b)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	// inverse FFT of a, power-of-two length
+	for i := range a {
+		a[i] = complex(real(a[i]), -imag(a[i]))
+	}
+	radix2(a)
+	inv := 1 / float64(m)
+	for i := range a {
+		a[i] = complex(real(a[i])*inv, -imag(a[i])*inv)
+	}
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * w[k]
+	}
+}
+
+// FFTShift rotates the spectrum so the zero-frequency bin is centered,
+// returning a new slice. For even n, bin n/2 becomes the first element.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	h := (n + 1) / 2
+	copy(out, x[h:])
+	copy(out[n-h:], x[:h])
+	return out
+}
+
+// BinToFreq converts an FFT bin index (0..n-1) to a signed frequency in Hz
+// given the sample rate. Bins above n/2 map to negative frequencies.
+func BinToFreq(bin, n int, sampleRate float64) float64 {
+	if bin > n/2 {
+		bin -= n
+	}
+	return float64(bin) * sampleRate / float64(n)
+}
+
+// FreqToBin converts a signed frequency in Hz to the nearest FFT bin index
+// in [0, n).
+func FreqToBin(freq float64, n int, sampleRate float64) int {
+	bin := int(math.Round(freq * float64(n) / sampleRate))
+	bin %= n
+	if bin < 0 {
+		bin += n
+	}
+	return bin
+}

@@ -1,0 +1,126 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resample converts x from one sample rate to another using rational
+// polyphase resampling (upsample by L, anti-alias/anti-image filter,
+// downsample by M, computed without materializing the upsampled signal).
+// Rates must be positive; the rational factor L/M is derived from the rate
+// ratio with a denominator cap of 1024, which covers every pair of
+// standard SDR rates exactly (e.g. 1 MHz ↔ 250 kHz, 8 MHz ↔ 1 MHz,
+// 2.048 MHz ↔ 1 MHz).
+//
+// Use cases in this repository: feeding a 2.4 GHz BLE capture (≥5 MHz)
+// into analysis built for other rates, and converting external cu8
+// recordings made at rtl_sdr's customary 2.048 MHz down to the gateway's
+// 1 MHz pipeline.
+func Resample(x []complex128, fromRate, toRate float64) ([]complex128, error) {
+	if fromRate <= 0 || toRate <= 0 {
+		return nil, fmt.Errorf("dsp: resample rates must be positive")
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	L, M, err := rationalRatio(toRate/fromRate, 1024)
+	if err != nil {
+		return nil, err
+	}
+	if L == M {
+		return Clone(x), nil
+	}
+	// Anti-alias/anti-image low-pass at the tighter of the two Nyquist
+	// limits, designed at the upsampled rate.
+	upRate := fromRate * float64(L)
+	cutoff := 0.45 * math.Min(fromRate, toRate)
+	taps := designResampleTaps(cutoff, upRate, L)
+
+	// Polyphase: output sample k sits at upsampled index k*M; its value is
+	// Σ_j h[j]·u[kM-j] where u is the zero-stuffed input (u[i]=L·x[i/L]
+	// when L divides i). Only every L-th tap contributes.
+	outLen := (len(x)*L + M - 1) / M
+	out := make([]complex128, 0, outLen)
+	half := (len(taps) - 1) / 2
+	gain := float64(L)
+	for k := 0; ; k++ {
+		center := k * M
+		if center >= len(x)*L {
+			break
+		}
+		// j must satisfy (center-j) ≡ 0 mod L and 0 <= (center-j)/L < len(x)
+		var acc complex128
+		// smallest j >= center-half with (center-j) % L == 0
+		start := center - half
+		if start < 0 {
+			start = 0
+		}
+		rem := (center - start) % L
+		start += rem
+		for j := start; j <= center+half; j += L {
+			tapIdx := center - j + half
+			if tapIdx < 0 || tapIdx >= len(taps) {
+				continue
+			}
+			srcIdx := j / L
+			if srcIdx >= len(x) {
+				continue
+			}
+			acc += complex(taps[tapIdx]*gain, 0) * x[srcIdx]
+		}
+		out = append(out, acc)
+	}
+	return out, nil
+}
+
+// designResampleTaps returns a windowed-sinc low-pass sized to span several
+// input samples per phase.
+func designResampleTaps(cutoff, rate float64, L int) []float64 {
+	n := 16*L + 1
+	return LowPass(cutoff, rate, n).Taps
+}
+
+// rationalRatio approximates ratio as L/M with M <= maxDen using continued
+// fractions, requiring an exact-enough match (1e-9 relative).
+func rationalRatio(ratio float64, maxDen int) (int, int, error) {
+	if ratio <= 0 {
+		return 0, 0, fmt.Errorf("dsp: ratio must be positive")
+	}
+	// continued fraction expansion
+	h0, h1 := 0, 1
+	k0, k1 := 1, 0
+	x := ratio
+	for i := 0; i < 64; i++ {
+		a := int(math.Floor(x))
+		h0, h1 = h1, a*h1+h0
+		k0, k1 = k1, a*k1+k0
+		if k1 > maxDen {
+			return 0, 0, fmt.Errorf("dsp: resample ratio %g needs denominator > %d", ratio, maxDen)
+		}
+		if frac := x - float64(a); frac > 1e-12 {
+			x = 1 / frac
+		} else {
+			break
+		}
+		if math.Abs(float64(h1)/float64(k1)-ratio) < 1e-9*ratio {
+			break
+		}
+	}
+	if k1 == 0 || math.Abs(float64(h1)/float64(k1)-ratio) > 1e-9*ratio {
+		return 0, 0, fmt.Errorf("dsp: resample ratio %g is not rational within tolerance", ratio)
+	}
+	// reduce
+	g := gcd(h1, k1)
+	return h1 / g, k1 / g, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

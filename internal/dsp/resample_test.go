@@ -1,0 +1,129 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRationalRatio(t *testing.T) {
+	cases := []struct {
+		ratio float64
+		l, m  int
+	}{
+		{0.25, 1, 4},
+		{4, 4, 1},
+		{1, 1, 1},
+		{2.048, 256, 125},
+		{1.0 / 2.048, 125, 256},
+		{0.5, 1, 2},
+	}
+	for _, c := range cases {
+		l, m, err := rationalRatio(c.ratio, 1024)
+		if err != nil {
+			t.Fatalf("ratio %v: %v", c.ratio, err)
+		}
+		if l != c.l || m != c.m {
+			t.Fatalf("ratio %v: got %d/%d want %d/%d", c.ratio, l, m, c.l, c.m)
+		}
+	}
+	if _, _, err := rationalRatio(math.Pi, 1024); err == nil {
+		t.Fatal("irrational ratio accepted")
+	}
+	if _, _, err := rationalRatio(-1, 1024); err == nil {
+		t.Fatal("negative ratio accepted")
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	x := Tone(1000, 10e3, 0, 1e6)
+	y, err := Resample(x, 1e6, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("identity resample altered samples")
+		}
+	}
+}
+
+func TestResampleDownPreservesTone(t *testing.T) {
+	const from, to = 1e6, 250e3
+	x := Tone(8000, 30e3, 0, from)
+	y, err := Resample(x, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 2000
+	if len(y) < wantLen-2 || len(y) > wantLen+2 {
+		t.Fatalf("length %d, want ~%d", len(y), wantLen)
+	}
+	f := DominantFrequency(y[100:1900], to)
+	if math.Abs(f-30e3) > 500 {
+		t.Fatalf("tone at %v after downsample", f)
+	}
+	// power preserved within filter tolerance
+	if p := Power(y[100 : len(y)-100]); math.Abs(p-1) > 0.1 {
+		t.Fatalf("power %v after downsample", p)
+	}
+}
+
+func TestResampleUpPreservesTone(t *testing.T) {
+	const from, to = 1e6, 4e6
+	x := Tone(2000, 100e3, 0, from)
+	y, err := Resample(x, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) < 7990 || len(y) > 8010 {
+		t.Fatalf("length %d, want ~8000", len(y))
+	}
+	f := DominantFrequency(y[500:7500], to)
+	if math.Abs(f-100e3) > 1000 {
+		t.Fatalf("tone at %v after upsample", f)
+	}
+	if p := Power(y[500:7500]); math.Abs(p-1) > 0.1 {
+		t.Fatalf("power %v after upsample", p)
+	}
+}
+
+func TestResampleRationalRTLRate(t *testing.T) {
+	// rtl_sdr's customary 2.048 MHz down to the gateway's 1 MHz: ratio
+	// 125/256.
+	const from, to = 2.048e6, 1e6
+	x := Tone(16384, 50e3, 0, from)
+	y, err := Resample(x, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(float64(len(x)) * to / from)
+	if len(y) < want-2 || len(y) > want+2 {
+		t.Fatalf("length %d, want ~%d", len(y), want)
+	}
+	f := DominantFrequency(y[500:len(y)-500], to)
+	if math.Abs(f-50e3) > 500 {
+		t.Fatalf("tone at %v", f)
+	}
+}
+
+func TestResampleRejectsAliases(t *testing.T) {
+	// A 400 kHz tone cannot survive a 1 MHz -> 500 kHz conversion; the
+	// anti-alias filter must remove it rather than fold it to 100 kHz.
+	x := Tone(8000, 400e3, 0, 1e6)
+	y, err := Resample(x, 1e6, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Power(y[200 : len(y)-200]); p > 0.02 {
+		t.Fatalf("alias power %v", p)
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := Resample([]complex128{1}, 0, 1e6); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if out, err := Resample(nil, 1e6, 2e6); err != nil || out != nil {
+		t.Fatal("empty input should be a no-op")
+	}
+}

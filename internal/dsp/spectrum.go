@@ -1,0 +1,208 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Window designs the named window of length n with coefficients in [0, 1].
+type Window int
+
+// Supported window shapes.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	Blackman
+)
+
+// Coefficients returns the window's n coefficients.
+func (w Window) Coefficients(n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := range out {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		switch w {
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(x)
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(x)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// String returns the window's name.
+func (w Window) String() string {
+	switch w {
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "rectangular"
+	}
+}
+
+// Periodogram returns the windowed power spectral density estimate of x:
+// |FFT(w·x)|²/(n·Σw²). Bin k corresponds to frequency k·fs/n (wrapping to
+// negative frequencies above n/2).
+func Periodogram(x []complex128, w Window) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	coeff := w.Coefficients(n)
+	buf := make([]complex128, n)
+	var wss float64
+	for i, v := range x {
+		buf[i] = v * complex(coeff[i], 0)
+		wss += coeff[i] * coeff[i]
+	}
+	FFTInPlace(buf)
+	out := make([]float64, n)
+	norm := 1 / (wss * float64(n))
+	for i, v := range buf {
+		out[i] = (real(v)*real(v) + imag(v)*imag(v)) * norm
+	}
+	return out
+}
+
+// WelchPSD averages periodograms over 50%-overlapping segments of the given
+// length, reducing estimator variance. segLen is clamped to len(x).
+func WelchPSD(x []complex128, segLen int, w Window) []float64 {
+	if segLen <= 0 || segLen > len(x) {
+		segLen = len(x)
+	}
+	if segLen == 0 {
+		return nil
+	}
+	hop := segLen / 2
+	if hop == 0 {
+		hop = 1
+	}
+	acc := make([]float64, segLen)
+	count := 0
+	for start := 0; start+segLen <= len(x); start += hop {
+		p := Periodogram(x[start:start+segLen], w)
+		for i, v := range p {
+			acc[i] += v
+		}
+		count++
+	}
+	if count == 0 {
+		return Periodogram(x[:segLen], w)
+	}
+	for i := range acc {
+		acc[i] /= float64(count)
+	}
+	return acc
+}
+
+// Goertzel evaluates the DFT of x at a single frequency (Hz) given the
+// sample rate, in O(n) time — useful for probing the discrete FSK tone
+// locations without a full FFT.
+func Goertzel(x []complex128, freq, sampleRate float64) complex128 {
+	w := 2 * math.Pi * freq / sampleRate
+	s, c := math.Sincos(-w)
+	rot := complex(c, s) // e^{-jw}
+	var acc complex128
+	cur := complex(1, 0)
+	for _, v := range x {
+		acc += v * cur
+		cur *= rot
+	}
+	return acc
+}
+
+// DominantFrequency estimates the strongest spectral component of x in Hz,
+// refined by parabolic interpolation of the magnitude spectrum. It returns
+// 0 for inputs shorter than 2 samples.
+func DominantFrequency(x []complex128, sampleRate float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	spec := FFT(x)
+	mags := Abs(spec)
+	pk := MaxPeak(mags)
+	frac := ParabolicInterp(mags, pk.Index)
+	bin := float64(pk.Index) + frac
+	if bin > float64(n)/2 {
+		bin -= float64(n)
+	}
+	return bin * sampleRate / float64(n)
+}
+
+// EstimateCFO estimates a small residual carrier frequency offset from the
+// average phase increment between consecutive samples of an (approximately)
+// constant-envelope signal. Valid for |CFO| < sampleRate/2 over the
+// observation, and most accurate when the underlying modulation averages
+// out (e.g. over a 0101 FSK preamble or a full chirp).
+func EstimateCFO(x []complex128, sampleRate float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	var acc complex128
+	for i := 1; i < len(x); i++ {
+		acc += x[i] * complex(real(x[i-1]), -imag(x[i-1]))
+	}
+	return math.Atan2(imag(acc), real(acc)) * sampleRate / (2 * math.Pi)
+}
+
+// EstimateSNR estimates the signal-to-noise power ratio (linear) of a
+// received vector given a clean reference-aligned template. It projects the
+// received signal onto the template to find the complex gain, then measures
+// residual power. Both inputs must be the same length.
+func EstimateSNR(rx, template []complex128) float64 {
+	n := len(rx)
+	if n == 0 || len(template) != n {
+		return 0
+	}
+	tE := Energy(template)
+	if tE == 0 {
+		return 0
+	}
+	var proj complex128
+	for i := range rx {
+		proj += rx[i] * complex(real(template[i]), -imag(template[i]))
+	}
+	gain := proj / complex(tE, 0)
+	var sigE, noiseE float64
+	for i := range rx {
+		s := gain * template[i]
+		d := rx[i] - s
+		sigE += real(s)*real(s) + imag(s)*imag(s)
+		noiseE += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if noiseE == 0 {
+		return math.Inf(1)
+	}
+	return sigE / noiseE
+}
+
+// NoiseFloor estimates the noise power of a metric vector as the median of
+// |x|², a robust estimator that ignores sparse signal spikes.
+func NoiseFloor(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	mags := AbsSq(x)
+	return median(mags)
+}
+
+func median(v []float64) float64 {
+	c := make([]float64, len(v))
+	copy(c, v)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}

@@ -1,0 +1,151 @@
+// Package edge implements the paper's "Edge vs. the Cloud" computation
+// placement (Sec. 4) together with the Sec. 6 future-work extensions:
+// per-technology latency SLAs and load balancing across multiple edge
+// nodes and the cloud.
+//
+// The paper's present implementation pushes I/Q to the edge for
+// no-collision decoding and ships to the cloud only on failure; it names
+// "factoring in SLAs to abide by quality-of-service requirements for
+// different technologies and ensuring load-balancing between multiple edge
+// computing nodes vs. the cloud" as the next step. Scheduler models that
+// step: each node advertises a compute rate and a round-trip latency, each
+// technology can carry a decode deadline, and segments are placed on the
+// cheapest node that still meets the tightest applicable deadline.
+package edge
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Node is a computation location: an edge box or the cloud.
+type Node struct {
+	Name string
+	// RTT is the round-trip network latency to reach the node.
+	RTT time.Duration
+	// ComputeRate is how many I/Q samples per second of decode work the
+	// node sustains (a Raspberry-Pi-class edge node is ~100× slower than a
+	// cloud instance for the correlation-heavy decode path).
+	ComputeRate float64
+	// Cloud marks the node as the cloud (unbounded queue, collision-capable).
+	Cloud bool
+
+	backlog float64 // queued decode work, in samples
+}
+
+// Backlog returns the node's queued work in samples.
+func (n *Node) Backlog() float64 { return n.backlog }
+
+// completionTime estimates how long a segment of the given length will
+// take end to end on this node, including queued work.
+func (n *Node) completionTime(samples int) time.Duration {
+	if n.ComputeRate <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	compute := (n.backlog + float64(samples)) / n.ComputeRate
+	return n.RTT + time.Duration(compute*float64(time.Second))
+}
+
+// Scheduler places segments on nodes.
+type Scheduler struct {
+	Edges []*Node
+	Cloud *Node
+	// SLAs maps a technology name to its decode deadline; technologies
+	// absent from the map have no deadline.
+	SLAs map[string]time.Duration
+}
+
+// NewScheduler returns a scheduler over the given edge nodes and cloud.
+func NewScheduler(cloud *Node, edges ...*Node) *Scheduler {
+	return &Scheduler{Edges: edges, Cloud: cloud, SLAs: map[string]time.Duration{}}
+}
+
+// Placement is a scheduling decision.
+type Placement struct {
+	Node      *Node
+	Estimated time.Duration // estimated completion time on the chosen node
+	Deadline  time.Duration // tightest applicable SLA (0 = none)
+	MeetsSLA  bool
+}
+
+// Place chooses a node for a segment of the given sample count whose
+// suspected technologies are candidates. Collisions (more than one
+// candidate technology) always go to the cloud, per Sec. 4: the edge
+// decodes only the no-collision case. Otherwise the scheduler picks the
+// node with the earliest completion time among those meeting the tightest
+// candidate SLA, preferring edges on ties (backhaul relief); if no node
+// meets the deadline, the fastest node is chosen and MeetsSLA is false.
+// The chosen node's backlog is charged with the work.
+func (s *Scheduler) Place(samples int, candidates []string) Placement {
+	deadline := s.tightestSLA(candidates)
+	collision := len(candidates) > 1
+
+	type option struct {
+		node *Node
+		eta  time.Duration
+	}
+	var opts []option
+	if !collision {
+		for _, e := range s.Edges {
+			opts = append(opts, option{e, e.completionTime(samples)})
+		}
+	}
+	if s.Cloud != nil {
+		opts = append(opts, option{s.Cloud, s.Cloud.completionTime(samples)})
+	}
+	if len(opts) == 0 {
+		return Placement{}
+	}
+	// stable order: fastest first, edges before cloud on equal ETA
+	sort.SliceStable(opts, func(i, j int) bool {
+		if opts[i].eta != opts[j].eta {
+			return opts[i].eta < opts[j].eta
+		}
+		return !opts[i].node.Cloud && opts[j].node.Cloud
+	})
+	chosen := opts[0]
+	meets := deadline == 0 || chosen.eta <= deadline
+	if deadline > 0 {
+		for _, o := range opts {
+			if o.eta <= deadline {
+				chosen = o
+				meets = true
+				break
+			}
+		}
+	}
+	chosen.node.backlog += float64(samples)
+	return Placement{Node: chosen.node, Estimated: chosen.eta, Deadline: deadline, MeetsSLA: meets}
+}
+
+// Complete credits finished work back to a node's backlog.
+func (s *Scheduler) Complete(n *Node, samples int) {
+	n.backlog -= float64(samples)
+	if n.backlog < 0 {
+		n.backlog = 0
+	}
+}
+
+// tightestSLA returns the smallest deadline across candidates (0 = none).
+func (s *Scheduler) tightestSLA(candidates []string) time.Duration {
+	var d time.Duration
+	for _, c := range candidates {
+		if sla, ok := s.SLAs[c]; ok && sla > 0 && (d == 0 || sla < d) {
+			d = sla
+		}
+	}
+	return d
+}
+
+// String summarizes the scheduler state.
+func (s *Scheduler) String() string {
+	out := "edge nodes:"
+	for _, e := range s.Edges {
+		out += fmt.Sprintf(" %s(backlog %.0f)", e.Name, e.backlog)
+	}
+	if s.Cloud != nil {
+		out += fmt.Sprintf(" | cloud %s(backlog %.0f)", s.Cloud.Name, s.Cloud.backlog)
+	}
+	return out
+}

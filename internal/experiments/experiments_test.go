@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Seed: 1, Quick: true}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1Runner(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("Table 1 has %d rows, want >= 10 (paper lists 10 technologies)", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	for _, want := range []string{"CSS", "GFSK", "O-QPSK", "OFDMA", "nb-iot"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	s, err := RunFig3b(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Buckets) != 5 {
+		t.Fatalf("buckets %v", s.Buckets)
+	}
+	// Paper shape assertions:
+	// 1. at high SNR (last bucket) all detectors are good
+	if s.Universal[4] < 0.8 || s.Matched[4] < 0.8 || s.Energy[4] < 0.6 {
+		t.Fatalf("high-SNR detection too low: E=%v U=%v M=%v", s.Energy[4], s.Universal[4], s.Matched[4])
+	}
+	// 2. energy collapses below 0 dB while universal keeps detecting
+	if s.Energy[1] > 0.3 {
+		t.Fatalf("energy detector should collapse at [-20,-10): %v", s.Energy[1])
+	}
+	if s.Universal[1] < s.Energy[1]+0.2 {
+		t.Fatalf("universal (%v) should clearly beat energy (%v) below noise", s.Universal[1], s.Energy[1])
+	}
+	// 3. universal tracks matched within a gap
+	for i := range s.Buckets {
+		if s.Universal[i] > s.Matched[i]+0.15 {
+			t.Fatalf("universal above matched at %s: %v vs %v", s.Buckets[i], s.Universal[i], s.Matched[i])
+		}
+	}
+}
+
+func TestFig3cShape(t *testing.T) {
+	s, err := RunFig3c(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Regimes) != 3 {
+		t.Fatalf("regimes %v", s.Regimes)
+	}
+	// Kill filters must beat SIC in aggregate.
+	var sicSum, cloudSum float64
+	for i := range s.Regimes {
+		sicSum += s.SIC[i]
+		cloudSum += s.GalioT[i]
+	}
+	if cloudSum <= sicSum {
+		t.Fatalf("GalioT throughput %v should exceed SIC %v", cloudSum, sicSum)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, "== "+id) {
+			t.Fatalf("output missing experiment %s", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", quick, &buf); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestCostAndAblationPreamble(t *testing.T) {
+	c, err := Cost(quick)
+	if err != nil || len(c.Rows) < 4 {
+		t.Fatalf("cost: %v %d", err, len(c.Rows))
+	}
+	a, err := AblationPreamble(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// last row: 4 techs but fewer universal groups than matched templates
+	last := a.Rows[len(a.Rows)-1]
+	if last[0] != "4" || last[1] != "1" || last[3] == last[2] {
+		t.Fatalf("ablation rows: %+v", a.Rows)
+	}
+}
+
+func TestBatteryShowsSavings(t *testing.T) {
+	tab, err := Battery(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// The savings note must be present and positive.
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "saved by kill filters") {
+			found = true
+			if strings.Contains(n, "-") {
+				t.Fatalf("negative savings: %s", n)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("savings note missing")
+	}
+}
+
+func TestAblationKillHasPerFilterRows(t *testing.T) {
+	tab, err := AblationKill(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 ablation rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestEdgePolicyAndScaling(t *testing.T) {
+	ep, err := EdgePolicy(quick)
+	if err != nil || len(ep.Rows) != 3 {
+		t.Fatalf("edge policy: %v rows %d", err, len(ep.Rows))
+	}
+	if testing.Short() {
+		return
+	}
+	sc, err := Scaling(quick)
+	if err != nil || len(sc.Rows) != 4 {
+		t.Fatalf("scaling: %v rows %d", err, len(sc.Rows))
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"repro/internal/detect"
+	"repro/internal/frontend"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// AblationFrontend measures detection through the RTL-SDR impairment model
+// (8-bit quantization, DC offset, IQ imbalance, 500 Hz tuner error) for
+// the coherent universal-preamble correlator versus its non-coherent
+// chunked variant. Tuner error rotates the phase across a long preamble
+// and starves coherent integration — the chunked detector trades a little
+// clean-channel sensitivity for robustness to exactly this impairment.
+func AblationFrontend(opt Options) (Table, error) {
+	fs := opt.fs()
+	techs := prototypeTechs()
+	maxPacket := sim.MaxPacketSamples(techs, fs)
+	trials := opt.trials(2, 5)
+
+	coherent, err := detect.NewUniversal(techs, fs, 0.055)
+	if err != nil {
+		return Table{}, err
+	}
+	chunked, err := detect.NewUniversal(techs, fs, 0.055)
+	if err != nil {
+		return Table{}, err
+	}
+	chunked.Chunk = 1024
+
+	fes := []struct {
+		name string
+		fe   *frontend.Receiver
+	}{
+		{"ideal front-end", frontend.Ideal(fs)},
+		{"RTL-SDR model (8-bit, 500 Hz tuner error, IQ imbalance)", frontend.Default()},
+	}
+	t := Table{
+		ID:     "ablation-frontend",
+		Title:  "Detection through the RTL-SDR impairment model (DESIGN §6 notes 3-4)",
+		Header: []string{"front-end", "coherent universal", "chunked universal"},
+		Notes: []string{
+			"traffic at -14..-8 dB; the tuner error decoheres long-preamble correlation, which the",
+			"non-coherent chunked variant (Chunk=1024) absorbs.",
+		},
+	}
+	base := rng.New(opt.Seed ^ 0xFE)
+	for _, fe := range fes {
+		var detC, detK, total int
+		for trial := 0; trial < trials; trial++ {
+			gen := base.Split(uint64(trial) + 1)
+			scen, err := sim.GenTraffic(sim.TrafficConfig{
+				Techs:      techs,
+				SampleRate: fs,
+				Duration:   1 << 19,
+				MeanGap:    0.06,
+				// At the detection margin the preamble peak is all there
+				// is — data-region correlations are under water — so the
+				// coherent-vs-chunked difference is visible.
+				SNRMin: -14,
+				SNRMax: -8,
+			}, gen)
+			if err != nil {
+				return Table{}, err
+			}
+			impaired := sim.Scenario{
+				Capture:    fe.fe.Capture(scen.Capture),
+				SampleRate: fs,
+				Packets:    scen.Packets,
+			}
+			total += len(scen.Packets)
+			detC += sim.EvaluateDetection(impaired, coherent, maxPacket).Detected
+			detK += sim.EvaluateDetection(impaired, chunked, maxPacket).Detected
+		}
+		ratio := func(d int) float64 {
+			if total == 0 {
+				return 0
+			}
+			return float64(d) / float64(total)
+		}
+		t.Rows = append(t.Rows, []string{fe.name, pct(ratio(detC)), pct(ratio(detK))})
+	}
+	return t, nil
+}

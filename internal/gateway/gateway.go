@@ -1,0 +1,233 @@
+// Package gateway implements the GalioT gateway runtime: the pipeline that
+// takes front-end captures through universal-preamble detection, attempts
+// cheap edge decoding for uncollided packets, and ships everything it
+// cannot resolve locally to the cloud over the backhaul protocol
+// (paper Sec. 3-4, including the "Edge vs. the Cloud" policy: I/Q samples
+// are decoded at the edge assuming no collision, and shipped only when
+// that fails).
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/backhaul"
+	"repro/internal/cancel"
+	"repro/internal/detect"
+	"repro/internal/frontend"
+	"repro/internal/phy"
+)
+
+// Config assembles a gateway.
+type Config struct {
+	ID         string           // gateway identifier for the hello handshake
+	Techs      []phy.Technology // technologies to detect and decode
+	Frontend   *frontend.Receiver
+	Detector   detect.Detector // nil: universal-preamble detector at threshold 0.08
+	EdgeDecode bool            // try single-technology decode locally first
+	Codec      backhaul.SegmentCodec
+}
+
+// Stats counts what a gateway did.
+type Stats struct {
+	CapturesProcessed int
+	Detections        int
+	SegmentsShipped   int
+	SegmentsResolved  int // resolved at the edge, not shipped
+	EdgeFrames        int
+	WireBytes         int // backhaul bytes actually sent
+	RawBytes          int // what streaming every capture raw (cu8) would have cost
+}
+
+// Gateway runs the detection/edge/ship pipeline. Captures are fed through
+// a streaming detector, so packets that straddle capture boundaries are
+// detected once enough samples have arrived; call Flush when the stream
+// ends to drain segments still held back at the buffer tail.
+type Gateway struct {
+	cfg       Config
+	det       detect.Detector
+	stream    *detect.Stream
+	edge      *cancel.Decoder
+	maxPacket int
+	stats     Stats
+}
+
+// New builds a gateway. The default detector is the universal-preamble
+// correlator over cfg.Techs.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Techs) == 0 {
+		return nil, errors.New("gateway: no technologies configured")
+	}
+	if cfg.Frontend == nil {
+		cfg.Frontend = frontend.Ideal(1e6)
+	}
+	if cfg.ID == "" {
+		cfg.ID = "galiot-gw"
+	}
+	if cfg.Codec.Format == 0 && !cfg.Codec.Compress {
+		cfg.Codec = backhaul.DefaultCodec
+	}
+	fs := cfg.Frontend.SampleRate()
+	det := cfg.Detector
+	if det == nil {
+		var err error
+		det, err = detect.NewUniversal(cfg.Techs, fs, 0.08)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: %w", err)
+		}
+	}
+	maxPacket := 0
+	for _, t := range cfg.Techs {
+		if n := t.MaxPacketSamples(fs); n > maxPacket {
+			maxPacket = n
+		}
+	}
+	// Edge decoding assumes no collision: single pass, no kill filters.
+	edge := cancel.NewSIC(cfg.Techs, fs)
+	edge.MaxRounds = 1
+	return &Gateway{
+		cfg:       cfg,
+		det:       det,
+		stream:    detect.NewStream(det, maxPacket),
+		edge:      edge,
+		maxPacket: maxPacket,
+	}, nil
+}
+
+// SampleRate returns the gateway's front-end sample rate.
+func (g *Gateway) SampleRate() float64 { return g.cfg.Frontend.SampleRate() }
+
+// Stats returns a snapshot of the gateway's counters.
+func (g *Gateway) Stats() Stats { return g.stats }
+
+// Result is the outcome of processing one capture.
+type Result struct {
+	EdgeFrames []*phy.Frame       // frames fully resolved at the edge
+	Shipped    []backhaul.Segment // segments that need the cloud
+}
+
+// Process runs one antenna capture through the pipeline: front-end
+// impairments, streaming detection, optional edge decode, and returns what
+// must be shipped. Offsets in the returned segments are absolute
+// (monotonic across captures). Segments near the end of the buffered
+// stream are withheld until the next Process or Flush call, because the
+// packets they cover may continue into samples not yet received.
+func (g *Gateway) Process(antenna []complex128) Result {
+	rx := g.cfg.Frontend.Capture(antenna)
+	g.stats.CapturesProcessed++
+	g.stats.RawBytes += 2 * len(rx) // cu8 raw stream cost
+	return g.handle(g.stream.Push(rx))
+}
+
+// Flush drains segments still held in the streaming detector. Call once
+// when no more captures will arrive.
+func (g *Gateway) Flush() Result {
+	return g.handle(g.stream.Flush())
+}
+
+// handle routes completed segments through edge decode or shipping.
+func (g *Gateway) handle(segments []detect.StreamSegment) Result {
+	fs := g.cfg.Frontend.SampleRate()
+	g.stats.Detections += len(segments)
+	var res Result
+	for _, seg := range segments {
+		if g.cfg.EdgeDecode {
+			frames, _ := g.edge.Decode(seg.Samples)
+			if len(frames) == 1 && frames[0].CRCOK && !g.likelyCollision(seg.Samples, frames[0]) {
+				for _, f := range frames {
+					f.Offset += int(seg.Start)
+				}
+				res.EdgeFrames = append(res.EdgeFrames, frames...)
+				g.stats.EdgeFrames += len(frames)
+				g.stats.SegmentsResolved++
+				continue
+			}
+		}
+		res.Shipped = append(res.Shipped, backhaul.Segment{
+			Start:      seg.Start,
+			SampleRate: fs,
+			Samples:    seg.Samples,
+		})
+	}
+	g.stats.SegmentsShipped += len(res.Shipped)
+	return res
+}
+
+// likelyCollision reports whether a segment still contains significant
+// structure after the edge decode, meaning more transmissions may be
+// hiding; such segments go to the cloud despite the local success.
+func (g *Gateway) likelyCollision(samples []complex128, decoded *phy.Frame) bool {
+	// More than one technology's preamble above threshold indicates a
+	// cross-technology collision the edge (single-pass, no kill filters)
+	// should not trust itself with.
+	found := 0
+	for _, cand := range g.edge.Classify(samples) {
+		if cand.Score > 0.15 {
+			found++
+		}
+	}
+	return found > 1
+}
+
+// Run drives a session over a backhaul connection: hello, then one segment
+// message per shipped segment from each capture delivered on captures,
+// then bye. Decode reports arriving from the cloud are delivered to the
+// reports callback (may be nil).
+func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports func(backhaul.FramesReport)) error {
+	conn := backhaul.NewConn(rw)
+	techs := make([]string, 0, len(g.cfg.Techs))
+	for _, t := range g.cfg.Techs {
+		techs = append(techs, t.Name())
+	}
+	if err := conn.SendHello(backhaul.Hello{
+		Version:    backhaul.Version,
+		GatewayID:  g.cfg.ID,
+		SampleRate: g.cfg.Frontend.SampleRate(),
+		Techs:      techs,
+	}); err != nil {
+		return err
+	}
+	// Reader side: collect decode reports until EOF.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			typ, payload, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if typ == backhaul.MsgFrames && reports != nil {
+				if r, err := backhaul.ParseFrames(payload); err == nil {
+					reports(r)
+				}
+			}
+			if typ == backhaul.MsgBye {
+				return
+			}
+		}
+	}()
+	ship := func(res Result) error {
+		for _, seg := range res.Shipped {
+			n, err := conn.SendSegment(g.cfg.Codec, seg)
+			if err != nil {
+				return err
+			}
+			g.stats.WireBytes += n
+		}
+		return nil
+	}
+	for capture := range captures {
+		if err := ship(g.Process(capture)); err != nil {
+			return err
+		}
+	}
+	if err := ship(g.Flush()); err != nil {
+		return err
+	}
+	if err := conn.SendBye(); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}

@@ -1,0 +1,89 @@
+package mac
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDeliverFirstAttempt(t *testing.T) {
+	l := NewLink()
+	out := l.Deliver(true, 0.01, 64, func() float64 { return 0 })
+	if !out.Delivered || out.Attempts != 1 || out.Bits != 64 {
+		t.Fatalf("%+v", out)
+	}
+	want := DefaultEnergy.TxPowerW*0.01 + DefaultEnergy.WakePerTxJ
+	if math.Abs(out.EnergyJ-want) > 1e-12 {
+		t.Fatalf("energy %v want %v", out.EnergyJ, want)
+	}
+}
+
+func TestDeliverRetries(t *testing.T) {
+	l := NewLink()
+	// retry succeeds on second retry: draws 0.95 (fail), 0.5 (success)
+	draws := []float64{0.95, 0.5}
+	i := 0
+	out := l.Deliver(false, 0.01, 64, func() float64 { v := draws[i%len(draws)]; i++; return v })
+	if !out.Delivered || out.Attempts != 3 {
+		t.Fatalf("%+v", out)
+	}
+	per := DefaultEnergy.TxPowerW*0.01 + DefaultEnergy.WakePerTxJ
+	if math.Abs(out.EnergyJ-3*per) > 1e-12 {
+		t.Fatalf("energy %v", out.EnergyJ)
+	}
+}
+
+func TestDeliverExhaustsBudget(t *testing.T) {
+	l := NewLink()
+	out := l.Deliver(false, 0.01, 64, func() float64 { return 0.99 }) // all retries fail
+	if out.Delivered || out.Attempts != 1+l.MaxRetries || out.Bits != 0 {
+		t.Fatalf("%+v", out)
+	}
+}
+
+func TestDeliverDegenerate(t *testing.T) {
+	l := NewLink()
+	if out := l.Deliver(true, 0, 64, nil); out.Attempts != 0 {
+		t.Fatalf("zero airtime: %+v", out)
+	}
+	if out := l.Deliver(true, 0.01, 0, nil); out.Attempts != 0 {
+		t.Fatalf("zero bits: %+v", out)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	l := NewLink()
+	gen := rng.New(1)
+	var withDecode, withoutDecode Report
+	const frames = 500
+	for i := 0; i < frames; i++ {
+		// GalioT decodes 95% of first attempts; plain receiver 50%.
+		withDecode.Add(l.Deliver(gen.Float64() < 0.95, 0.01, 64, gen.Float64))
+		withoutDecode.Add(l.Deliver(gen.Float64() < 0.50, 0.01, 64, gen.Float64))
+	}
+	if withDecode.EnergyPerBit() >= withoutDecode.EnergyPerBit() {
+		t.Fatalf("collision decoding should save energy: %v vs %v J/bit",
+			withDecode.EnergyPerBit(), withoutDecode.EnergyPerBit())
+	}
+	if withDecode.RetransmissionRate() >= withoutDecode.RetransmissionRate() {
+		t.Fatal("collision decoding should reduce retransmissions")
+	}
+	if withDecode.DeliveryRatio() < 0.99 {
+		t.Fatalf("delivery ratio %v", withDecode.DeliveryRatio())
+	}
+	if !strings.Contains(withDecode.String(), "frames=500") {
+		t.Fatalf("report string: %s", withDecode.String())
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	var r Report
+	if !math.IsInf(r.EnergyPerBit(), 1) {
+		t.Fatal("energy per bit of empty report")
+	}
+	if r.RetransmissionRate() != 0 || r.DeliveryRatio() != 0 {
+		t.Fatal("empty report rates")
+	}
+}

@@ -1,0 +1,188 @@
+package ble
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+// BLE LE 1M needs a wide capture; 8 MHz gives 8 samples per bit.
+const fs = 8e6
+
+func TestDefaults(t *testing.T) {
+	r := Default()
+	c := r.Config()
+	if c.AccessAddress != AdvertisingAccessAddress || c.Channel != 37 || c.MaxPayload != 37 {
+		t.Fatalf("defaults %+v", c)
+	}
+	if r.Name() != "ble" || r.Class() != phy.ClassFSK || r.BitRate() != 1e6 {
+		t.Fatal("identity")
+	}
+	tones := r.Tones()
+	if tones[0] != -250e3 || tones[1] != 250e3 {
+		t.Fatalf("tones %v", tones)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Channel: 45}); err == nil {
+		t.Fatal("channel 45 accepted")
+	}
+	if _, err := New(Config{MaxPayload: 999}); err == nil {
+		t.Fatal("payload 999 accepted")
+	}
+	r := Default()
+	if _, err := r.Modulate(nil, fs); err == nil {
+		t.Fatal("empty payload")
+	}
+	if _, err := r.Modulate(make([]byte, 38), fs); err == nil {
+		t.Fatal("payload over max")
+	}
+	if _, err := r.Demodulate(make([]complex128, 64), fs); !errors.Is(err, phy.ErrNoFrame) {
+		t.Fatal("short window")
+	}
+	// LE 1M cannot run at the 868-band gateway rate.
+	if _, err := r.Modulate([]byte{1}, 1e6); err == nil {
+		t.Fatal("1 MHz capture accepted for a 1 Mb/s PHY")
+	}
+}
+
+func TestPreambleMatchesAccessAddressLSB(t *testing.T) {
+	// 0x8E89BED6 has LSB 0 -> preamble 0xAA
+	if Default().preambleByte() != 0xAA {
+		t.Fatal("advertising preamble should be 0xAA")
+	}
+	r, _ := New(Config{AccessAddress: 0x12345679}) // odd LSB
+	if r.preambleByte() != 0x55 {
+		t.Fatal("odd access address should select 0x55")
+	}
+}
+
+func TestRoundTripClean(t *testing.T) {
+	r := Default()
+	payload := []byte("BLE advertisement!")
+	sig, err := r.Modulate(payload, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, len(sig)+8000)
+	dsp.Add(rx, sig, 3000)
+	frame, err := r.Demodulate(rx, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("payload %q crc %v", frame.Payload, frame.CRCOK)
+	}
+	if frame.Offset < 2995 || frame.Offset > 3005 {
+		t.Fatalf("offset %d", frame.Offset)
+	}
+}
+
+func TestRoundTripNoiseAndCFO(t *testing.T) {
+	r := Default()
+	gen := rng.New(1)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	sig, _ := r.Modulate(payload, fs)
+	for _, tc := range []struct{ snr, cfo float64 }{{12, 0}, {12, 20e3}} {
+		rx := make([]complex128, len(sig)+6000)
+		for i := range rx {
+			rx[i] = gen.Complex()
+		}
+		s := dsp.Mix(dsp.Clone(sig), tc.cfo, 0.4, fs)
+		dsp.Scale(s, math.Sqrt(dsp.FromDB(tc.snr)))
+		dsp.Add(rx, s, 2000)
+		frame, err := r.Demodulate(rx, fs)
+		if err != nil {
+			t.Fatalf("snr=%v cfo=%v: %v", tc.snr, tc.cfo, err)
+		}
+		if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+			t.Fatalf("snr=%v cfo=%v: %x", tc.snr, tc.cfo, frame.Payload)
+		}
+	}
+}
+
+func TestRoundTripRandomChannels(t *testing.T) {
+	gen := rng.New(2)
+	f := func(chRaw, lenRaw uint8) bool {
+		ch := chRaw % 40
+		if ch == 0 {
+			ch = 38
+		}
+		r, err := New(Config{Channel: ch})
+		if err != nil {
+			return false
+		}
+		n := int(lenRaw%24) + 1
+		payload := make([]byte, n)
+		gen.Bytes(payload)
+		sig, err := r.Modulate(payload, fs)
+		if err != nil {
+			return false
+		}
+		rx := make([]complex128, len(sig)+3000)
+		dsp.Add(rx, sig, 1000)
+		frame, err := r.Demodulate(rx, fs)
+		if err != nil {
+			return false
+		}
+		return frame.CRCOK && bytes.Equal(frame.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrongChannelFailsCRC(t *testing.T) {
+	// De-whitening with the wrong channel index scrambles the PDU.
+	tx, _ := New(Config{Channel: 37})
+	rxr, _ := New(Config{Channel: 38})
+	sig, _ := tx.Modulate([]byte{1, 2, 3, 4}, fs)
+	rx := make([]complex128, len(sig)+2000)
+	dsp.Add(rx, sig, 500)
+	if frame, err := rxr.Demodulate(rx, fs); err == nil && frame.CRCOK {
+		t.Fatal("wrong-channel whitening passed CRC")
+	}
+}
+
+func TestMaxPacketSamplesCovers(t *testing.T) {
+	r := Default()
+	sig, err := r.Modulate(make([]byte, 37), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxPacketSamples(fs) < len(sig) {
+		t.Fatalf("MaxPacketSamples %d < %d", r.MaxPacketSamples(fs), len(sig))
+	}
+}
+
+func TestUniversalPreambleInteropAt2G4(t *testing.T) {
+	// The BLE preamble participates in the universal-preamble machinery at
+	// a 2.4 GHz capture rate, showing the abstraction carries over.
+	pre := Default().Preamble(fs)
+	if len(pre) == 0 {
+		t.Fatal("empty preamble")
+	}
+	if p := dsp.Power(pre); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("preamble power %v", p)
+	}
+}
+
+func BenchmarkDemodulate(b *testing.B) {
+	r := Default()
+	sig, _ := r.Modulate([]byte{1, 2, 3, 4, 5, 6, 7, 8}, fs)
+	rx := make([]complex128, len(sig)+1000)
+	dsp.Add(rx, sig, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Demodulate(rx, fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

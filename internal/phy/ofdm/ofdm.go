@@ -1,0 +1,422 @@
+// Package ofdm implements a WiFi HaLow-class (IEEE 802.11ah 1 MHz mode)
+// OFDM PHY: a 32-point FFT at 31.25 kHz subcarrier spacing (so one symbol
+// spans exactly the gateway's 1 MHz capture), quarter-length cyclic
+// prefix, BPSK data subcarriers, two pilot subcarriers for common-phase
+// tracking, and a repeated long-training-field preamble used for
+// synchronization, carrier recovery and per-subcarrier channel
+// equalization.
+//
+// Documented simplifications versus 802.11ah: no convolutional coding (the
+// frame carries a CRC-16 instead; MCS0's rate-1/2 coding would halve the
+// bit rate), no short training field (the detector's correlation replaces
+// AGC-oriented STF use), and a one-byte SIG field protected by repetition.
+// These keep the package focused on what the paper needs OFDM for — a
+// Table-1 technology whose energy is spread across many subcarriers,
+// outside the reach of the three kill-filter classes.
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/bits"
+	"repro/internal/dsp"
+	"repro/internal/phy"
+)
+
+// PHY constants for the 1 MHz (32-FFT) mode.
+const (
+	nFFT    = 32
+	cpLen   = 8 // quarter symbol
+	symLen  = nFFT + cpLen
+	nPilots = 2
+)
+
+// dataCarriers lists the signed subcarrier indices carrying BPSK data
+// (DC and band edges are null, ±7 carry pilots): 24 data subcarriers, as
+// in the 802.11ah 1 MHz mode.
+var dataCarriers = []int{
+	-13, -12, -11, -10, -9, -8, -6, -5, -4, -3, -2, -1,
+	1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13,
+}
+
+// pilotCarriers are the pilot subcarrier indices; both carry +1 BPSK.
+var pilotCarriers = []int{-7, 7}
+
+// Config parameterizes the PHY. Zero values take defaults via New.
+type Config struct {
+	Bandwidth  float64 // subcarrier spacing × nFFT; default 1e6 (the 1 MHz mode)
+	MaxPayload int     // bytes (default 96)
+	LTFRepeats int     // repeated known training symbols in the preamble (default 4)
+}
+
+// Radio is an OFDM PHY instance, safe for concurrent use.
+type Radio struct {
+	cfg Config
+	ltf []complex128 // frequency-domain training values on data+pilot carriers
+}
+
+// New validates cfg, fills defaults, and returns a Radio.
+func New(cfg Config) (*Radio, error) {
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = 1e6
+	}
+	if cfg.MaxPayload == 0 {
+		cfg.MaxPayload = 96
+	}
+	if cfg.LTFRepeats == 0 {
+		cfg.LTFRepeats = 4
+	}
+	if cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("ofdm: bandwidth must be positive")
+	}
+	if cfg.MaxPayload < 1 || cfg.MaxPayload > 255 {
+		return nil, fmt.Errorf("ofdm: max payload %d out of range", cfg.MaxPayload)
+	}
+	if cfg.LTFRepeats < 2 {
+		return nil, fmt.Errorf("ofdm: need at least 2 LTF repeats for CFO estimation")
+	}
+	r := &Radio{cfg: cfg}
+	// Deterministic ±1 training sequence on every used carrier (an
+	// 802.11-style LTF): generated from a small LFSR so it is balanced and
+	// spectrally flat.
+	w := bits.NewDC9Whitener()
+	used := len(dataCarriers) + nPilots
+	r.ltf = make([]complex128, used)
+	for i := range r.ltf {
+		if w.NextBit() == 1 {
+			r.ltf[i] = 1
+		} else {
+			r.ltf[i] = -1
+		}
+	}
+	return r, nil
+}
+
+// Default returns the 1 MHz-mode configuration.
+func Default() *Radio {
+	r, err := New(Config{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name implements phy.Technology.
+func (r *Radio) Name() string { return "halow" }
+
+// Class implements phy.Technology.
+func (r *Radio) Class() phy.Class { return phy.ClassOFDM }
+
+// Config returns the active configuration.
+func (r *Radio) Config() Config { return r.cfg }
+
+// Info implements phy.Technology.
+func (r *Radio) Info() phy.Info {
+	return phy.Info{
+		Name:       "wifi-halow",
+		Modulation: "BPSK-OFDM",
+		Sync:       "configuration specific",
+		Preamble:   "configuration specific",
+		MaxPayload: r.cfg.MaxPayload,
+	}
+}
+
+// BitRate implements phy.Technology: 24 BPSK bits per (nFFT+cp)/BW seconds.
+func (r *Radio) BitRate() float64 {
+	symDur := float64(symLen) / r.cfg.Bandwidth
+	return float64(len(dataCarriers)) / symDur
+}
+
+// osr returns the integer oversampling ratio of the capture relative to
+// the OFDM bandwidth.
+func (r *Radio) osr(fs float64) (int, error) {
+	ratio := fs / r.cfg.Bandwidth
+	o := int(math.Round(ratio))
+	if o < 1 || math.Abs(ratio-float64(o)) > 1e-9 {
+		return 0, fmt.Errorf("ofdm: sample rate %g is not an integer multiple of bandwidth %g", fs, r.cfg.Bandwidth)
+	}
+	return o, nil
+}
+
+// carrierBin maps a signed subcarrier index to an FFT bin of size n.
+func carrierBin(c, n int) int {
+	return ((c % n) + n) % n
+}
+
+// synthesizeSymbol renders one OFDM symbol (CP + body) from frequency-
+// domain values on the used carriers, at the base rate, then the caller
+// interpolates if oversampled.
+func synthesizeSymbol(values []complex128) []complex128 {
+	spec := make([]complex128, nFFT)
+	idx := 0
+	for _, c := range dataCarriers {
+		spec[carrierBin(c, nFFT)] = values[idx]
+		idx++
+	}
+	for _, c := range pilotCarriers {
+		spec[carrierBin(c, nFFT)] = values[idx]
+		idx++
+	}
+	body := dsp.IFFT(spec)
+	out := make([]complex128, 0, symLen)
+	out = append(out, body[nFFT-cpLen:]...)
+	out = append(out, body...)
+	return out
+}
+
+// frameBits assembles the transmitted bit stream: SIG (length byte
+// repeated 3×, majority-protected) + payload + CRC16, whitened.
+func (r *Radio) frameBits(payload []byte) []byte {
+	crc := bits.CRC16CCITT(payload)
+	frame := []byte{byte(len(payload)), byte(len(payload)), byte(len(payload))}
+	frame = append(frame, payload...)
+	frame = append(frame, byte(crc>>8), byte(crc))
+	w := bits.NewLoRaWhitener()
+	return w.Apply(bits.Unpack(frame))
+}
+
+// Modulate implements phy.Technology.
+func (r *Radio) Modulate(payload []byte, fs float64) ([]complex128, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("ofdm: empty payload")
+	}
+	if len(payload) > r.cfg.MaxPayload {
+		return nil, fmt.Errorf("ofdm: payload %d exceeds max %d", len(payload), r.cfg.MaxPayload)
+	}
+	osr, err := r.osr(fs)
+	if err != nil {
+		return nil, err
+	}
+	stream := r.frameBits(payload)
+	nData := len(dataCarriers)
+	var base []complex128
+	// LTF preamble: repeated known symbols.
+	for k := 0; k < r.cfg.LTFRepeats; k++ {
+		base = append(base, synthesizeSymbol(r.ltf)...)
+	}
+	// Data symbols: BPSK on data carriers, +1 pilots.
+	for at := 0; at < len(stream); at += nData {
+		values := make([]complex128, nData+nPilots)
+		for i := 0; i < nData; i++ {
+			bit := byte(0)
+			if at+i < len(stream) {
+				bit = stream[at+i]
+			}
+			if bit == 1 {
+				values[i] = -1
+			} else {
+				values[i] = 1
+			}
+		}
+		values[nData] = 1
+		values[nData+1] = 1
+		base = append(base, synthesizeSymbol(values)...)
+	}
+	out := base
+	if osr > 1 {
+		out = dsp.Interpolate(base, osr, r.cfg.Bandwidth)
+	}
+	dsp.Normalize(out)
+	return out, nil
+}
+
+// Preamble implements phy.Technology: the LTF train.
+func (r *Radio) Preamble(fs float64) []complex128 {
+	osr, err := r.osr(fs)
+	if err != nil {
+		panic(err)
+	}
+	var base []complex128
+	for k := 0; k < r.cfg.LTFRepeats; k++ {
+		base = append(base, synthesizeSymbol(r.ltf)...)
+	}
+	out := base
+	if osr > 1 {
+		out = dsp.Interpolate(base, osr, r.cfg.Bandwidth)
+	}
+	dsp.Normalize(out)
+	return out
+}
+
+// MaxPacketSamples implements phy.Technology.
+func (r *Radio) MaxPacketSamples(fs float64) int {
+	osr, err := r.osr(fs)
+	if err != nil {
+		return 0
+	}
+	bitsTotal := 8 * (3 + r.cfg.MaxPayload + 2)
+	symbols := r.cfg.LTFRepeats + (bitsTotal+len(dataCarriers)-1)/len(dataCarriers)
+	return symbols * symLen * osr
+}
+
+// Demodulate implements phy.Technology.
+func (r *Radio) Demodulate(rx []complex128, fs float64) (*phy.Frame, error) {
+	osr, err := r.osr(fs)
+	if err != nil {
+		return nil, err
+	}
+	pre := r.Preamble(fs)
+	minSyms := r.cfg.LTFRepeats + 2
+	if len(rx) < minSyms*symLen*osr {
+		return nil, fmt.Errorf("%w: ofdm window too short", phy.ErrNoFrame)
+	}
+	metric := dsp.NormalizedCorrelate(rx, pre)
+	pk := dsp.MaxPeak(metric)
+	if pk.Index < 0 || pk.Value < 0.2 {
+		return nil, fmt.Errorf("%w: ofdm preamble not found (peak %.3f)", phy.ErrNoFrame, pk.Value)
+	}
+	start := pk.Index
+
+	// Decimate the frame region to the base rate for processing.
+	work := rx[start:]
+	if osr > 1 {
+		work = dsp.Decimate(work, osr, fs)
+	} else {
+		work = dsp.Clone(work)
+	}
+
+	// CFO from the phase drift between consecutive LTF repeats.
+	var acc complex128
+	for k := 0; k+1 < r.cfg.LTFRepeats; k++ {
+		a := work[k*symLen : (k+1)*symLen]
+		b := work[(k+1)*symLen : (k+2)*symLen]
+		for i := 0; i < symLen && i < len(a) && i < len(b); i++ {
+			acc += b[i] * complex(real(a[i]), -imag(a[i]))
+		}
+	}
+	symDur := float64(symLen) / r.cfg.Bandwidth
+	cfo := math.Atan2(imag(acc), real(acc)) / (2 * math.Pi * symDur)
+	dsp.Mix(work, -cfo, 0, r.cfg.Bandwidth)
+
+	// fftSymbol extracts the frequency-domain used-carrier values of the
+	// k-th symbol (skipping the CP).
+	fftSymbol := func(k int) ([]complex128, bool) {
+		from := k*symLen + cpLen
+		to := from + nFFT
+		if to > len(work) {
+			return nil, false
+		}
+		spec := dsp.FFT(work[from:to])
+		out := make([]complex128, len(dataCarriers)+nPilots)
+		idx := 0
+		for _, c := range dataCarriers {
+			out[idx] = spec[carrierBin(c, nFFT)]
+			idx++
+		}
+		for _, c := range pilotCarriers {
+			out[idx] = spec[carrierBin(c, nFFT)]
+			idx++
+		}
+		return out, true
+	}
+
+	// Channel estimation: average the LTF repeats, divide by the known
+	// training values.
+	used := len(dataCarriers) + nPilots
+	chanEst := make([]complex128, used)
+	for k := 0; k < r.cfg.LTFRepeats; k++ {
+		vals, ok := fftSymbol(k)
+		if !ok {
+			return nil, fmt.Errorf("%w: ofdm LTF truncated", phy.ErrNoFrame)
+		}
+		for i := range chanEst {
+			chanEst[i] += vals[i] / r.ltf[i]
+		}
+	}
+	for i := range chanEst {
+		chanEst[i] /= complex(float64(r.cfg.LTFRepeats), 0)
+		if chanEst[i] == 0 {
+			return nil, fmt.Errorf("%w: ofdm channel estimate degenerate", phy.ErrNoFrame)
+		}
+	}
+
+	nData := len(dataCarriers)
+	// demodSymbols equalizes and slices n data symbols starting at symbol
+	// index firstSym, using pilots for common-phase correction.
+	demodSymbols := func(firstSym, count int) ([]byte, bool) {
+		out := make([]byte, 0, count*nData)
+		for k := 0; k < count; k++ {
+			vals, ok := fftSymbol(firstSym + k)
+			if !ok {
+				return nil, false
+			}
+			for i := range vals {
+				vals[i] /= chanEst[i]
+			}
+			// common phase error from the two pilots (transmitted +1)
+			cpe := vals[nData] + vals[nData+1]
+			ph := cmplx.Exp(complex(0, -math.Atan2(imag(cpe), real(cpe))))
+			for i := 0; i < nData; i++ {
+				if real(vals[i]*ph) < 0 {
+					out = append(out, 1)
+				} else {
+					out = append(out, 0)
+				}
+			}
+		}
+		return out, true
+	}
+
+	// SIG: the first data symbol carries the 3× repeated length byte.
+	sigBits, ok := demodSymbols(r.cfg.LTFRepeats, 1)
+	if !ok {
+		return nil, fmt.Errorf("%w: ofdm SIG truncated", phy.ErrNoFrame)
+	}
+	wDe := bits.NewLoRaWhitener()
+	sigDe := wDe.Apply(append([]byte{}, sigBits...))
+	sigBytes := bits.Pack(sigDe)
+	length := majority3(sigBytes[0], sigBytes[1], sigBytes[2])
+	if int(length) == 0 || int(length) > r.cfg.MaxPayload {
+		return nil, fmt.Errorf("%w: ofdm length %d invalid", phy.ErrNoFrame, length)
+	}
+	bitsTotal := 8 * (3 + int(length) + 2)
+	nSyms := (bitsTotal + nData - 1) / nData
+	raw, ok := demodSymbols(r.cfg.LTFRepeats, nSyms)
+	if !ok {
+		return nil, fmt.Errorf("%w: ofdm frame truncated", phy.ErrNoFrame)
+	}
+	raw = raw[:bitsTotal]
+	w2 := bits.NewLoRaWhitener()
+	w2.Apply(raw)
+	body := bits.Pack(raw)
+	payload := body[3 : 3+int(length)]
+	gotCRC := uint16(body[3+int(length)])<<8 | uint16(body[3+int(length)+1])
+	crcOK := gotCRC == bits.CRC16CCITT(payload)
+
+	frame := &phy.Frame{
+		Tech:    "halow",
+		Payload: append([]byte{}, payload...),
+		CRCOK:   crcOK,
+		Bits:    int(length) * 8,
+		Offset:  start,
+		CFO:     cfo,
+	}
+	if crcOK {
+		if ref, merr := r.Modulate(frame.Payload, fs); merr == nil {
+			end := start + len(ref)
+			if end > len(rx) {
+				end = len(rx)
+			}
+			seg := rx[start:end]
+			refSeg := ref[:len(seg)]
+			var proj complex128
+			for i := range seg {
+				proj += seg[i] * complex(real(refSeg[i]), -imag(refSeg[i]))
+			}
+			if e := dsp.Energy(refSeg); e > 0 {
+				frame.Gain = proj / complex(e, 0)
+			}
+			frame.SNRdB = dsp.DB(dsp.EstimateSNR(seg, refSeg))
+		}
+	}
+	return frame, nil
+}
+
+// majority3 returns the bitwise majority of three bytes.
+func majority3(a, b, c byte) byte {
+	return a&b | a&c | b&c
+}
+
+var _ phy.Technology = (*Radio)(nil)

@@ -1,0 +1,212 @@
+package ofdm
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+const fs = 1e6 // the 1 MHz mode runs at the gateway rate directly (osr 1)
+
+func TestDefaults(t *testing.T) {
+	r := Default()
+	if r.Name() != "halow" || r.Class() != phy.ClassOFDM {
+		t.Fatal("identity")
+	}
+	// 24 bits per 40 µs symbol = 600 kb/s raw BPSK
+	if math.Abs(r.BitRate()-600e3) > 1 {
+		t.Fatalf("bit rate %v", r.BitRate())
+	}
+	if phy.ClassOFDM.String() != "OFDM" {
+		t.Fatal("class name")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{LTFRepeats: 1}); err == nil {
+		t.Fatal("1 LTF accepted")
+	}
+	if _, err := New(Config{MaxPayload: 999}); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+	r := Default()
+	if _, err := r.Modulate(nil, fs); err == nil {
+		t.Fatal("empty payload")
+	}
+	if _, err := r.Modulate([]byte{1}, 999999); err == nil {
+		t.Fatal("non-integer osr accepted")
+	}
+	if _, err := r.Demodulate(make([]complex128, 32), fs); !errors.Is(err, phy.ErrNoFrame) {
+		t.Fatal("short window")
+	}
+}
+
+func TestCarrierLayout(t *testing.T) {
+	if len(dataCarriers) != 24 {
+		t.Fatalf("%d data carriers, want 24 (802.11ah 1 MHz mode)", len(dataCarriers))
+	}
+	seen := map[int]bool{0: true} // DC must stay null
+	for _, c := range append(append([]int{}, dataCarriers...), pilotCarriers...) {
+		if c == 0 {
+			t.Fatal("DC carrier used")
+		}
+		if c < -13 || c > 13 {
+			t.Fatalf("carrier %d outside ±13", c)
+		}
+		if seen[c] {
+			t.Fatalf("carrier %d reused", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestRoundTripClean(t *testing.T) {
+	r := Default()
+	payload := []byte("halow ofdm frame")
+	sig, err := r.Modulate(payload, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, len(sig)+4000)
+	dsp.Add(rx, sig, 1500)
+	frame, err := r.Demodulate(rx, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("payload %q crc %v", frame.Payload, frame.CRCOK)
+	}
+	if frame.Offset < 1495 || frame.Offset > 1505 {
+		t.Fatalf("offset %d", frame.Offset)
+	}
+}
+
+func TestRoundTripMultipathChannel(t *testing.T) {
+	// OFDM's raison d'être: per-subcarrier equalization flattens a
+	// frequency-selective channel that would cripple a single-carrier PHY.
+	r := Default()
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	sig, _ := r.Modulate(payload, fs)
+	// two-tap channel: direct path + 50% echo 3 samples later (within CP)
+	echoed := make([]complex128, len(sig)+3)
+	dsp.Add(echoed, sig, 0)
+	echo := dsp.ScaleComplex(dsp.Clone(sig), complex(0.35, 0.35))
+	dsp.Add(echoed, echo, 3)
+	rx := make([]complex128, len(echoed)+3000)
+	dsp.Add(rx, echoed, 1000)
+	frame, err := r.Demodulate(rx, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("multipath payload %x", frame.Payload)
+	}
+}
+
+func TestRoundTripNoiseAndCFO(t *testing.T) {
+	r := Default()
+	gen := rng.New(1)
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	sig, _ := r.Modulate(payload, fs)
+	for _, tc := range []struct{ snr, cfo float64 }{{15, 0}, {15, 800}} {
+		rx := make([]complex128, len(sig)+3000)
+		for i := range rx {
+			rx[i] = gen.Complex()
+		}
+		s := dsp.Mix(dsp.Clone(sig), tc.cfo, 0.2, fs)
+		dsp.Scale(s, math.Sqrt(dsp.FromDB(tc.snr)))
+		dsp.Add(rx, s, 1000)
+		frame, err := r.Demodulate(rx, fs)
+		if err != nil {
+			t.Fatalf("snr=%v cfo=%v: %v", tc.snr, tc.cfo, err)
+		}
+		if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+			t.Fatalf("snr=%v cfo=%v: %x", tc.snr, tc.cfo, frame.Payload)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	r := Default()
+	gen := rng.New(2)
+	f := func(lenRaw uint8) bool {
+		n := int(lenRaw%40) + 1
+		payload := make([]byte, n)
+		gen.Bytes(payload)
+		sig, err := r.Modulate(payload, fs)
+		if err != nil {
+			return false
+		}
+		rx := make([]complex128, len(sig)+2000)
+		dsp.Add(rx, sig, 700)
+		frame, err := r.Demodulate(rx, fs)
+		if err != nil {
+			return false
+		}
+		return frame.CRCOK && bytes.Equal(frame.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversampledCapture(t *testing.T) {
+	// A 2 MHz capture (osr 2) must also round-trip.
+	r := Default()
+	payload := []byte{7, 7, 7}
+	sig, err := r.Modulate(payload, 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, len(sig)+4000)
+	dsp.Add(rx, sig, 1200)
+	frame, err := r.Demodulate(rx, 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("osr-2 payload %x", frame.Payload)
+	}
+}
+
+func TestMajority3(t *testing.T) {
+	if majority3(0xFF, 0xFF, 0x00) != 0xFF {
+		t.Fatal("majority")
+	}
+	if majority3(0x0F, 0xF0, 0xFF) != 0xFF {
+		t.Fatal("bitwise majority")
+	}
+	if majority3(0x12, 0x12, 0x34) != 0x12 {
+		t.Fatal("two agree")
+	}
+}
+
+func TestMaxPacketSamplesCovers(t *testing.T) {
+	r := Default()
+	sig, err := r.Modulate(make([]byte, 96), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxPacketSamples(fs) < len(sig) {
+		t.Fatalf("MaxPacketSamples %d < %d", r.MaxPacketSamples(fs), len(sig))
+	}
+}
+
+func BenchmarkDemodulate16B(b *testing.B) {
+	r := Default()
+	sig, _ := r.Modulate(make([]byte, 16), fs)
+	rx := make([]complex128, len(sig)+500)
+	dsp.Add(rx, sig, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Demodulate(rx, fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package oqpsk
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+const fs = 1e6
+
+func TestChipTableProperties(t *testing.T) {
+	// All 16 sequences distinct.
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			if chipTable[a] == chipTable[b] {
+				t.Fatalf("sequences %d and %d identical", a, b)
+			}
+		}
+	}
+	// Every sequence is balanced to within a few chips and has low cross-
+	// correlation with the others (quasi-orthogonality).
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if a == b {
+				continue
+			}
+			agree := 0
+			for i := 0; i < 32; i++ {
+				if chipTable[a][i] == chipTable[b][i] {
+					agree++
+				}
+			}
+			// |correlation| = |2*agree-32|; 802.15.4 codes keep this low
+			if d := agree - 16; d < -8 || d > 8 {
+				t.Fatalf("codes %d,%d agreement %d of 32", a, b, agree)
+			}
+		}
+	}
+}
+
+func TestChipCodesAccessor(t *testing.T) {
+	codes := Default().ChipCodes()
+	if len(codes) != 16 {
+		t.Fatalf("%d codes", len(codes))
+	}
+	for i, c := range codes {
+		if len(c) != 32 {
+			t.Fatalf("code %d length %d", i, len(c))
+		}
+	}
+	// mutation of the returned slice must not affect the table
+	codes[0][0] ^= 1
+	if Default().ChipCodes()[0][0] == codes[0][0] {
+		t.Fatal("ChipCodes aliases internal table")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	r := Default()
+	if r.Name() != "oqpsk" || r.Class() != phy.ClassDSSS {
+		t.Fatal("identity")
+	}
+	if r.BitRate() != 31250 {
+		t.Fatalf("bit rate %v", r.BitRate())
+	}
+	if r.ChipRate() != 250e3 {
+		t.Fatalf("chip rate %v", r.ChipRate())
+	}
+}
+
+func TestSymbolsBytesRoundTrip(t *testing.T) {
+	if err := quick.Check(func(data []byte) bool {
+		return bytes.Equal(bytesOfSymbols(symbolsOf(data)), data)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDespreadCleanSymbols(t *testing.T) {
+	for sym := 0; sym < 16; sym++ {
+		soft := make([]float64, 32)
+		for i, c := range chipTable[sym] {
+			soft[i] = float64(2*int(c) - 1)
+		}
+		got, score := despreadSymbol(soft)
+		if got != byte(sym) {
+			t.Fatalf("symbol %d despread as %d", sym, got)
+		}
+		if math.Abs(score-1) > 1e-9 {
+			t.Fatalf("perfect despread score %v", score)
+		}
+	}
+}
+
+func TestRoundTripClean(t *testing.T) {
+	r := Default()
+	payload := []byte("thread-style frame")
+	sig, err := r.Modulate(payload, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, len(sig)+3000)
+	dsp.Add(rx, sig, 1234)
+	frame, err := r.Demodulate(rx, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("payload %q crc %v", frame.Payload, frame.CRCOK)
+	}
+	if frame.Offset != 1234 {
+		t.Fatalf("offset %d", frame.Offset)
+	}
+}
+
+func TestRoundTripWithPhaseRotation(t *testing.T) {
+	r := Default()
+	payload := []byte{0xAA, 0x55, 0x0F}
+	sig, _ := r.Modulate(payload, fs)
+	rot := dsp.ScaleComplex(dsp.Clone(sig), complex(math.Cos(1.1), math.Sin(1.1)))
+	rx := make([]complex128, len(sig)+1000)
+	dsp.Add(rx, rot, 300)
+	frame, err := r.Demodulate(rx, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("rotated payload %x", frame.Payload)
+	}
+}
+
+func TestRoundTripNoise(t *testing.T) {
+	r := Default()
+	gen := rng.New(31)
+	payload := []byte{1, 2, 3, 4, 5, 6}
+	sig, _ := r.Modulate(payload, fs)
+	// DSSS processing gain (32 chips) lets O-QPSK survive low SNR.
+	for _, snrDB := range []float64{10, 0} {
+		rx := make([]complex128, len(sig)+2000)
+		for i := range rx {
+			rx[i] = gen.Complex()
+		}
+		s := dsp.Scale(dsp.Clone(sig), math.Sqrt(dsp.FromDB(snrDB)))
+		dsp.Add(rx, s, 700)
+		frame, err := r.Demodulate(rx, fs)
+		if err != nil {
+			t.Fatalf("snr %v: %v", snrDB, err)
+		}
+		if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+			t.Fatalf("snr %v: payload %x", snrDB, frame.Payload)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	r := Default()
+	gen := rng.New(32)
+	f := func(lenRaw uint8) bool {
+		n := int(lenRaw%24) + 1
+		payload := make([]byte, n)
+		gen.Bytes(payload)
+		sig, err := r.Modulate(payload, fs)
+		if err != nil {
+			return false
+		}
+		rx := make([]complex128, len(sig)+1000)
+		dsp.Add(rx, sig, 250)
+		frame, err := r.Demodulate(rx, fs)
+		if err != nil {
+			return false
+		}
+		return frame.CRCOK && bytes.Equal(frame.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{ChipRate: -1}); err == nil {
+		t.Fatal("negative chip rate")
+	}
+	if _, err := New(Config{PreambleLen: 1}); err == nil {
+		t.Fatal("short preamble")
+	}
+	r := Default()
+	if _, err := r.Modulate(nil, fs); err == nil {
+		t.Fatal("empty payload")
+	}
+	if _, err := r.Modulate([]byte{1}, 333333); err == nil {
+		t.Fatal("bad sample rate")
+	}
+	if _, err := r.Demodulate(make([]complex128, 16), fs); !errors.Is(err, phy.ErrNoFrame) {
+		t.Fatal("short window should be ErrNoFrame")
+	}
+}
+
+func TestConstantEnvelopeInterior(t *testing.T) {
+	r := Default()
+	sig, _ := r.Modulate([]byte{0x12, 0x34, 0x56}, fs)
+	// interior samples (skip edges where only one rail is active)
+	var minM, maxM = math.Inf(1), 0.0
+	for _, v := range sig[200 : len(sig)-200] {
+		m := real(v)*real(v) + imag(v)*imag(v)
+		if m < minM {
+			minM = m
+		}
+		if m > maxM {
+			maxM = m
+		}
+	}
+	if maxM/minM > 1.1 {
+		t.Fatalf("envelope ripple %v", maxM/minM)
+	}
+}
+
+func TestMaxPacketSamplesCovers(t *testing.T) {
+	r := Default()
+	sig, err := r.Modulate(make([]byte, 96), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxPacketSamples(fs) < len(sig) {
+		t.Fatalf("MaxPacketSamples %d < %d", r.MaxPacketSamples(fs), len(sig))
+	}
+}
+
+func BenchmarkModulate16B(b *testing.B) {
+	r := Default()
+	payload := make([]byte, 16)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Modulate(payload, fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDemodulate16B(b *testing.B) {
+	r := Default()
+	payload := make([]byte, 16)
+	sig, _ := r.Modulate(payload, fs)
+	rx := make([]complex128, len(sig)+500)
+	dsp.Add(rx, sig, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Demodulate(rx, fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package zwave
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+const fs = 1e6
+
+func TestDefaults(t *testing.T) {
+	r := Default()
+	c := r.Config()
+	if c.Rate != R2 || c.Deviation != 20e3 || c.PreambleLen != 8 || c.MaxPayload != 64 || c.CenterOffset != 250e3 {
+		t.Fatalf("defaults %+v", c)
+	}
+	if r.BitRate() != 40e3 {
+		t.Fatalf("R2 bit rate %v", r.BitRate())
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if R1.String() != "R1" || R2.String() != "R2" {
+		t.Fatal("rate names")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{PreambleLen: 1}); err == nil {
+		t.Fatal("short preamble accepted")
+	}
+	if _, err := New(Config{MaxPayload: 200}); err == nil {
+		t.Fatal("oversized MaxPayload accepted")
+	}
+}
+
+func TestIdentityAndTones(t *testing.T) {
+	r := Default()
+	if r.Name() != "zwave" || r.Class() != phy.ClassFSK {
+		t.Fatal("identity")
+	}
+	tones := r.Tones()
+	if tones[0] != 230e3 || tones[1] != 270e3 {
+		t.Fatalf("tones %v", tones)
+	}
+}
+
+func TestRoundTripR2(t *testing.T) {
+	r := Default()
+	payload := []byte("basic set on")
+	sig, err := r.Modulate(payload, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, len(sig)+3000)
+	dsp.Add(rx, sig, 999)
+	frame, err := r.Demodulate(rx, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("payload %q crc %v", frame.Payload, frame.CRCOK)
+	}
+	if frame.Offset < 999-2 || frame.Offset > 999+2 {
+		t.Fatalf("offset %d, want ~999", frame.Offset)
+	}
+}
+
+func TestRoundTripR1Manchester(t *testing.T) {
+	r, err := New(Config{Rate: R1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BitRate() != 9.6e3 {
+		t.Fatalf("R1 bit rate %v", r.BitRate())
+	}
+	payload := []byte{0x20, 0x01, 0xFF}
+	sig, err := r.Modulate(payload, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, len(sig)+2000)
+	dsp.Add(rx, sig, 500)
+	frame, err := r.Demodulate(rx, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("R1 payload %x", frame.Payload)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	r := Default()
+	gen := rng.New(21)
+	f := func(lenRaw uint8) bool {
+		n := int(lenRaw%32) + 1
+		payload := make([]byte, n)
+		gen.Bytes(payload)
+		sig, err := r.Modulate(payload, fs)
+		if err != nil {
+			return false
+		}
+		rx := make([]complex128, len(sig)+1500)
+		dsp.Add(rx, sig, 400)
+		frame, err := r.Demodulate(rx, fs)
+		if err != nil {
+			return false
+		}
+		return frame.CRCOK && bytes.Equal(frame.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripNoise(t *testing.T) {
+	r := Default()
+	gen := rng.New(22)
+	payload := []byte{7, 6, 5, 4}
+	sig, _ := r.Modulate(payload, fs)
+	for _, snrDB := range []float64{15, 10} {
+		rx := make([]complex128, len(sig)+2000)
+		for i := range rx {
+			rx[i] = gen.Complex()
+		}
+		s := dsp.Scale(dsp.Clone(sig), math.Sqrt(dsp.FromDB(snrDB)))
+		dsp.Add(rx, s, 800)
+		frame, err := r.Demodulate(rx, fs)
+		if err != nil {
+			t.Fatalf("snr %v: %v", snrDB, err)
+		}
+		if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+			t.Fatalf("snr %v: payload %x", snrDB, frame.Payload)
+		}
+	}
+}
+
+func TestHomeIDEmbedded(t *testing.T) {
+	r, err := New(Config{HomeID: 0xDEADBEEF, NodeID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.mpdu([]byte{1}, 0xFF)
+	if m[0] != 0xDE || m[1] != 0xAD || m[2] != 0xBE || m[3] != 0xEF {
+		t.Fatalf("home id bytes %x", m[:4])
+	}
+	if m[4] != 7 {
+		t.Fatalf("node id %d", m[4])
+	}
+	// checksum covers all preceding bytes
+	var x byte = 0xFF
+	for _, b := range m[:len(m)-1] {
+		x ^= b
+	}
+	if m[len(m)-1] != x {
+		t.Fatal("checksum mismatch")
+	}
+}
+
+func TestDemodulateNoiseRejected(t *testing.T) {
+	r := Default()
+	gen := rng.New(23)
+	rx := make([]complex128, 50000)
+	for i := range rx {
+		rx[i] = gen.Complex()
+	}
+	if frame, err := r.Demodulate(rx, fs); err == nil && frame.CRCOK {
+		t.Fatal("noise decoded as valid frame")
+	}
+}
+
+func TestShortWindowError(t *testing.T) {
+	r := Default()
+	if _, err := r.Demodulate(make([]complex128, 64), fs); !errors.Is(err, phy.ErrNoFrame) {
+		t.Fatalf("want ErrNoFrame, got %v", err)
+	}
+}
+
+func TestMaxPacketSamplesCovers(t *testing.T) {
+	r := Default()
+	sig, err := r.Modulate(make([]byte, 64), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxPacketSamples(fs) < len(sig) {
+		t.Fatalf("MaxPacketSamples %d < %d", r.MaxPacketSamples(fs), len(sig))
+	}
+}
+
+func BenchmarkModulate16B(b *testing.B) {
+	r := Default()
+	payload := make([]byte, 16)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Modulate(payload, fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDemodulate16B(b *testing.B) {
+	r := Default()
+	payload := make([]byte, 16)
+	sig, _ := r.Modulate(payload, fs)
+	rx := make([]complex128, len(sig)+500)
+	dsp.Add(rx, sig, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Demodulate(rx, fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTripR3(t *testing.T) {
+	r, err := New(Config{Rate: R3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BitRate() != 100e3 || r.Config().Deviation != 29e3 {
+		t.Fatalf("R3 profile: rate %v dev %v", r.BitRate(), r.Config().Deviation)
+	}
+	if R3.String() != "R3" {
+		t.Fatal("rate name")
+	}
+	payload := []byte("fast zwave")
+	sig, err := r.Modulate(payload, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, len(sig)+2000)
+	dsp.Add(rx, sig, 600)
+	frame, err := r.Demodulate(rx, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frame.CRCOK || !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("R3 payload %x", frame.Payload)
+	}
+}
