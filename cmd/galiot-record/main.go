@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -72,9 +73,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer tf.Close()
-	fmt.Fprintf(tf, "# tech offset length snr_db payload_hex\n")
+	// A short write here silently corrupts the ground truth every
+	// detection-rate comparison is scored against, so fail loudly.
+	var truthBuf bytes.Buffer
+	fmt.Fprintf(&truthBuf, "# tech offset length snr_db payload_hex\n")
 	for _, p := range scen.Packets {
-		fmt.Fprintf(tf, "%s %d %d %.1f %x\n", p.Tech, p.Offset, p.Length, p.SNRdB, p.Payload)
+		fmt.Fprintf(&truthBuf, "%s %d %d %.1f %x\n", p.Tech, p.Offset, p.Length, p.SNRdB, p.Payload)
+	}
+	if _, err := tf.Write(truthBuf.Bytes()); err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-record:", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("wrote %s: %d samples (%.2f s at %.0f Hz), %d packets (truth in %s)\n",

@@ -64,7 +64,7 @@ func main() {
 	}
 
 	reader := iq.NewReader(f, iq.CU8)
-	if *rate != galiot.SampleRate {
+	if !dsp.ApproxEqual(*rate, galiot.SampleRate, 1e-6) {
 		// Non-native capture rate (e.g. rtl_sdr's customary 2.048 MHz):
 		// read everything and resample into the 1 MHz pipeline.
 		var all []complex128

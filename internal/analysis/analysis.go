@@ -1,0 +1,180 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// for this repository, in the spirit of golang.org/x/tools/go/analysis but
+// written against the standard library only (go/parser, go/ast, go/types,
+// go/importer) so the module stays self-contained.
+//
+// The framework loads and type-checks every package in the module, runs a
+// set of Analyzers over each, honors //lint:ignore suppression comments,
+// and reports findings with file:line:col positions, either as text or as
+// machine-readable JSON. The rule suite itself lives in
+// repro/internal/analysis/rules; the command-line driver is
+// cmd/galiot-lint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static-analysis rule. Run is invoked once per loaded
+// package (skipping packages for which Match returns false) and reports
+// findings through the Pass.
+type Analyzer struct {
+	Name string // short rule identifier, used in output and //lint:ignore
+	Doc  string // one-line description of what the rule flags
+
+	// Match restricts the analyzer to certain packages. A nil Match means
+	// the analyzer runs everywhere. It receives the package's import path.
+	Match func(importPath string) bool
+
+	Run func(*Pass)
+}
+
+// Pass carries one package's parse and type-check results to an Analyzer.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File // non-test files of the package, parse order
+	Pkg        *types.Package
+	Info       *types.Info
+	ImportPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Rule:     p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		position: pos,
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Rule    string         `json:"rule"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+
+	position token.Pos // original pos, for suppression lookup
+}
+
+// String formats the diagnostic in the conventional file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, then rule.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// MatchPathSuffix returns a Match function that accepts import paths ending
+// in one of the given slash-separated suffixes (on a path-segment boundary),
+// e.g. MatchPathSuffix("internal/dsp") accepts both "repro/internal/dsp"
+// and a golden-test path like "hotloopalloc/internal/dsp".
+func MatchPathSuffix(suffixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range suffixes {
+			if path == s || strings.HasSuffix(path, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// (non-suppressed) findings in deterministic order.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		all = append(all, sup.bad...)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				ImportPath: pkg.ImportPath,
+			}
+			pass.report = func(d Diagnostic) {
+				if sup.suppressed(d.Rule, d.Pos) {
+					return
+				}
+				all = append(all, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+// TypeContainsSync reports whether t contains (directly or through struct
+// fields and array elements) a type from the sync package that must not be
+// copied: Mutex, RWMutex, WaitGroup, Once, Cond, Map or Pool.
+func TypeContainsSync(t types.Type) bool {
+	return typeContainsSync(t, make(map[types.Type]bool))
+}
+
+func typeContainsSync(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return true
+			}
+		}
+		return typeContainsSync(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeContainsSync(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeContainsSync(u.Elem(), seen)
+	}
+	return false
+}
+
+// IsFloat reports whether t's underlying type is a floating-point or
+// complex basic type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a throwaway module for loader tests.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// callCounter flags every function call, for plumbing tests.
+var callCounter = &Analyzer{
+	Name: "callcounter",
+	Doc:  "test analyzer: flags every call expression",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call found")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func TestLoaderResolvesModuleImports(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+// Answer is the canonical constant.
+func Answer() int { return 42 }
+`,
+		"app/app.go": `package app
+
+import "example.test/lib"
+
+// Use exercises a module-internal import.
+func Use() int { return lib.Answer() }
+`,
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil {
+			t.Fatalf("package %s missing type info", p.ImportPath)
+		}
+	}
+	if pkgs[0].ImportPath != "example.test/app" {
+		t.Fatalf("unexpected order: %v first", pkgs[0].ImportPath)
+	}
+}
+
+func TestLoaderReportsTypeErrors(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod":        "module example.test\n\ngo 1.22\n",
+		"bad/bad.go":    "package bad\n\nfunc Broken() int { return \"nope\" }\n",
+		"good/good.go":  "package good\n\nfunc Fine() {}\n",
+		"good/extra.go": "package good\n\nfunc Also() {}\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(filepath.Join(root, "bad")); err == nil {
+		t.Fatal("expected a type error from bad/")
+	} else if !strings.Contains(err.Error(), "type errors") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := loader.Load(filepath.Join(root, "good")); err != nil {
+		t.Fatalf("good package failed to load: %v", err)
+	}
+}
+
+func TestSuppressionAndBadDirective(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+// A is suppressed on the preceding line.
+func A() {
+	//lint:ignore callcounter reason given here
+	helper()
+	helper()
+}
+
+//lint:ignore callcounter
+func helper() {}
+`,
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Analyzer{callCounter}, []*Package{pkg})
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	// One helper() call is suppressed, one is not; the reason-less
+	// directive is itself a finding. Output is position-sorted, so the
+	// surviving call (line 7) precedes the bad directive (line 10).
+	want := []string{"callcounter", "baddirective"}
+	if strings.Join(rules, ",") != strings.Join(want, ",") {
+		t.Fatalf("got rules %v, want %v\ndiags: %v", rules, want, diags)
+	}
+}
+
+func TestDiagnosticOrderingIsStable(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"p/a.go": "package p\n\nfunc A() { B(); B() }\n",
+		"p/b.go": "package p\n\nfunc B() {}\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Analyzer{callCounter}, []*Package{pkg})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	if diags[0].Pos.Column >= diags[1].Pos.Column {
+		t.Fatalf("diagnostics out of order: %v", diags)
+	}
+	if !strings.Contains(diags[0].String(), "callcounter: call found") {
+		t.Fatalf("String() = %q", diags[0].String())
+	}
+}
+
+func TestMatchPathSuffix(t *testing.T) {
+	t.Parallel()
+	m := MatchPathSuffix("internal/dsp", "internal/cancel")
+	for path, want := range map[string]bool{
+		"repro/internal/dsp":    true,
+		"x/internal/cancel":     true,
+		"internal/dsp":          true,
+		"repro/internal/detect": false,
+		"notinternal/dsp":       false,
+	} {
+		if m(path) != want {
+			t.Errorf("MatchPathSuffix(%q) = %v, want %v", path, m(path), want)
+		}
+	}
+}

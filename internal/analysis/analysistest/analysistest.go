@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over a GOPATH-style testdata tree
+// and checks its findings against // want "..." annotations, the golden
+// convention used by x/tools but implemented here on the standard library
+// only.
+//
+// A want annotation is a line comment of the form
+//
+//	x := f() // want "regexp"
+//
+// Every diagnostic the analyzer reports must match (by regexp, against the
+// diagnostic's "rule: message" text) a want on the same line of the same
+// file, and every want must be matched by exactly one diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads each package path under testdataSrc (a directory that plays
+// the role of a GOPATH src/), applies the analyzer, and compares findings
+// against the want annotations in the loaded files.
+func Run(t *testing.T, testdataSrc string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(testdataSrc)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	var pkgs []*analysis.Package
+	for _, p := range pkgPaths {
+		pkg, err := loader.Load(filepath.Join(testdataSrc, filepath.FromSlash(p)))
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+		raw     string
+	}
+	wants := make(map[string][]*want) // "file:line" -> pending expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pat, err := unquoteWant(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern: %v", pkg.Fset.Position(c.Pos()), err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &want{re: re, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		text := d.Rule + ": " + d.Message
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	//lint:ignore nondeterminism keys are sorted before reporting
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching want %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// unquoteWant undoes the minimal escaping want patterns need inside a
+// double-quoted comment: \" and \\.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash in %q", s)
+			}
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages of a single module (or of a
+// GOPATH-style testdata tree when ModulePath is empty), resolving
+// intra-module imports itself and everything else through the standard
+// library's importer. It implements types.Importer so type-checking can
+// recurse into module-internal dependencies.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string // module path from go.mod; "" = resolve any import under Root
+	Root       string // module root directory
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at root. If root has a
+// go.mod, its module path scopes intra-module import resolution; otherwise
+// every import that matches a subdirectory of root is resolved locally
+// (the layout used by analyzer golden-test data).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		Root:    abs,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	if data, err := os.ReadFile(filepath.Join(abs, "go.mod")); err == nil {
+		l.ModulePath = modulePath(data)
+	}
+	// Prefer the gc importer (reads compiled export data, fast); fall back
+	// to type-checking the standard library from source if export data is
+	// unavailable. The choice is made once so every package in a run sees
+	// the same type identities.
+	gc := importer.Default()
+	if _, err := gc.Import("fmt"); err == nil {
+		l.std = gc
+	} else {
+		l.std = importer.ForCompiler(l.Fset, "source", nil)
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// localDir maps an import path to a directory under Root, or "" if the
+// path is not resolved by this module.
+func (l *Loader) localDir(path string) string {
+	switch {
+	case l.ModulePath != "" && path == l.ModulePath:
+		return l.Root
+	case l.ModulePath != "" && strings.HasPrefix(path, l.ModulePath+"/"):
+		return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+	case l.ModulePath == "":
+		dir := filepath.Join(l.Root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir := l.localDir(path); dir != "" {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if from, ok := l.std.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, l.Root, 0)
+	}
+	return l.std.Import(path)
+}
+
+// Load loads and type-checks the package in the given directory (which
+// must live under Root). Results are memoized by import path.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module root %s", dir, l.Root)
+	}
+	path := filepath.ToSlash(rel)
+	if l.ModulePath != "" {
+		if path == "." {
+			path = l.ModulePath
+		} else {
+			path = l.ModulePath + "/" + path
+		}
+	}
+	return l.load(path, abs)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []string
+	cfg := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s:\n  %s", path, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFileNames returns the sorted non-test .go files of dir. Test files are
+// excluded from analysis: the rule suite deliberately targets library and
+// command code, and excluding them keeps every package self-contained for
+// type-checking.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ExpandPatterns resolves command-line package patterns against the
+// loader's module root. Supported forms: "./..." (every package), a
+// directory path like "./internal/dsp", a directory tree like
+// "./internal/...", and module-qualified import paths.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if l.ModulePath != "" && (pat == l.ModulePath || strings.HasPrefix(pat, l.ModulePath+"/")) {
+			// Module-qualified import path: rewrite to a relative dir.
+			pat = "./" + strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(rest, "./")))
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if names, err := goFileNames(p); err == nil && len(names) > 0 {
+					add(p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadPatterns expands patterns and loads every matched package.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	dirs, err := l.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,186 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ErrDrop flags dropped errors on the paths where losing one corrupts the
+// pipeline or silently skews experiment byte counts:
+//
+//   - any call used as a bare statement (or spawned with go) whose final
+//     result is an error, except a small allowlist of can't-fail writers
+//     (bytes.Buffer, strings.Builder, hash.Hash) and terminal logging
+//     (fmt.Print* to stdout/stderr, package log);
+//   - an error explicitly discarded into _ when the callee is high-stakes:
+//     the backhaul protocol (send/recv framing), io readers/writers, or
+//     gateway/cloud session loops.
+//
+// defer f.Close() is deliberately exempt; it is the idiomatic best-effort
+// cleanup and flagging it produces noise, not safety.
+var ErrDrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded errors from backhaul, io, and pipeline calls",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkBareCall(pass, n.Call, "go ")
+			case *ast.DeferStmt:
+				return false // defer x.Close() et al: best-effort cleanup
+			case *ast.AssignStmt:
+				checkBlankedError(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBareCall reports a call statement that silently drops an error
+// result.
+func checkBareCall(pass *analysis.Pass, call *ast.CallExpr, prefix string) {
+	t := pass.Info.TypeOf(call)
+	if t == nil || !lastResultIsError(t) {
+		return
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || errDropAllowed(pass, fn, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%serror result of %s dropped; handle it or assign it explicitly", prefix, fn.Name())
+}
+
+// lastResultIsError reports whether the call's (possibly multi-valued)
+// result ends in an error.
+func lastResultIsError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errDropAllowed exempts callees that are documented never to fail or
+// whose failure is terminal-output-only.
+func errDropAllowed(pass *analysis.Pass, fn *types.Func, call *ast.CallExpr) bool {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch pkg {
+	case "log":
+		return true
+	case "fmt":
+		// fmt.Print* write to stdout; fmt.Fprint* only when the target is
+		// os.Stdout / os.Stderr or an in-memory writer that cannot fail.
+		if strings.HasPrefix(fn.Name(), "Print") {
+			return true
+		}
+		if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" &&
+					(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+					return true
+				}
+			}
+			if isInMemoryWriter(pass.Info.TypeOf(call.Args[0])) {
+				return true
+			}
+		}
+		return false
+	case "bytes", "strings", "hash":
+		// bytes.Buffer, strings.Builder and hash.Hash writes cannot fail.
+		return true
+	}
+	return false
+}
+
+// isInMemoryWriter reports whether t is (a pointer to) bytes.Buffer or
+// strings.Builder, whose Write methods are documented never to fail.
+func isInMemoryWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// strictErrCallee reports whether discarding fn's error into _ is still
+// worth flagging: backhaul framing, io readers/writers, and the
+// gateway/cloud session drivers.
+func strictErrCallee(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if strings.HasSuffix(path, "internal/backhaul") || path == "io" {
+		return true
+	}
+	if strings.HasSuffix(path, "internal/gateway") || strings.HasSuffix(path, "internal/cloud") {
+		switch fn.Name() {
+		case "Run", "ServeConn", "Listen", "Close":
+			return true
+		}
+	}
+	return false
+}
+
+// checkBlankedError flags x, _ := f() / _ = f() when the blanked result is
+// an error from a high-stakes callee.
+func checkBlankedError(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || !strictErrCallee(fn) {
+		return
+	}
+	results, ok := pass.Info.TypeOf(call).(*types.Tuple)
+	var resultAt func(i int) types.Type
+	if ok {
+		resultAt = func(i int) types.Type { return results.At(i).Type() }
+	} else {
+		single := pass.Info.TypeOf(call)
+		resultAt = func(int) types.Type { return single }
+	}
+	for i, lhs := range as.Lhs {
+		id, isIdent := lhs.(*ast.Ident)
+		if !isIdent || id.Name != "_" {
+			continue
+		}
+		if isErrorType(resultAt(i)) {
+			pass.Reportf(id.Pos(), "error from %s.%s discarded into _; this path must surface failures", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

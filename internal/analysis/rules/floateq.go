@@ -1,0 +1,72 @@
+package rules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// FloatEq flags == and != between floating-point or complex operands.
+// DSP results accumulate rounding, so exact comparison is almost always a
+// latent bug; use dsp.ApproxEqual / dsp.ApproxEqualComplex with an explicit
+// tolerance instead. Exemptions, all of which are exact by construction:
+// comparison against a literal (or constant) zero — the idiomatic guard
+// before division or normalization — comparisons where both operands are
+// compile-time constants, and the x != x NaN probe.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags exact ==/!= on float and complex operands; use a tolerance",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if xt.Type == nil || yt.Type == nil {
+				return true
+			}
+			if !analysis.IsFloat(xt.Type) && !analysis.IsFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil { // constant-folded
+				return true
+			}
+			if isZeroConst(xt.Value) || isZeroConst(yt.Value) {
+				return true
+			}
+			if isNaNProbe(be) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact %s on floating-point operands: compare with a tolerance (dsp.ApproxEqual)", be.Op)
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether v is a numeric constant equal to exactly 0
+// (including complex 0+0i).
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}
+
+// isNaNProbe recognizes x != x / x == x, the standard NaN test, which is
+// exact by definition.
+func isNaNProbe(be *ast.BinaryExpr) bool {
+	x, okx := ast.Unparen(be.X).(*ast.Ident)
+	y, oky := ast.Unparen(be.Y).(*ast.Ident)
+	return okx && oky && x.Name == y.Name
+}

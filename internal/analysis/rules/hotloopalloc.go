@@ -1,0 +1,184 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// HotLoopAlloc flags per-iteration heap allocations inside loops in the
+// per-sample hot paths (internal/dsp, internal/detect, internal/cancel):
+// make calls, string<->[]byte/[]rune conversions, and appends to slices
+// that were either declared inside the loop (a fresh allocation every
+// iteration) or declared without any capacity (guaranteed re-allocation as
+// the loop grows them). Preallocate with make(T, n) / make(T, 0, cap)
+// outside the loop, reuse scratch buffers, or suppress with a reason when
+// the allocation is provably once-per-call.
+var HotLoopAlloc = &analysis.Analyzer{
+	Name:  "hotloopalloc",
+	Doc:   "flags make/append/string-conversion allocations inside hot-path loops",
+	Match: analysis.MatchPathSuffix("internal/dsp", "internal/detect", "internal/cancel"),
+	Run:   runHotLoopAlloc,
+}
+
+func runHotLoopAlloc(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		decls := sliceDecls(pass, file)
+		// Walk with an explicit stack of enclosing loop bodies so each
+		// allocation site knows whether it is inside a loop.
+		var loops []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n)
+				ast.Inspect(loopBody(n), visit)
+				loops = loops[:len(loops)-1]
+				return false // children already visited with loop context
+			case *ast.FuncLit:
+				// A closure body does not run per iteration of the loop it
+				// is declared in (it may never run, or run elsewhere).
+				saved := loops
+				loops = nil
+				ast.Inspect(n.Body, visit)
+				loops = saved
+				return false
+			case *ast.CallExpr:
+				if len(loops) > 0 {
+					checkHotCall(pass, n, decls, loops[len(loops)-1])
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// sliceDecls indexes every variable in the file to the expression it was
+// declared with (x := expr, or var x = expr), so append sites can check
+// whether their destination was preallocated with a capacity.
+func sliceDecls(pass *analysis.Pass, file *ast.File) map[types.Object]ast.Expr {
+	decls := make(map[types.Object]ast.Expr)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							decls[obj] = n.Rhs[i]
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, id := range n.Names {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						decls[obj] = n.Values[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+	return decls
+}
+
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, decls map[types.Object]ast.Expr, loop ast.Node) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch {
+		case isBuiltin(pass, fun, "make"):
+			pass.Reportf(call.Pos(), "make inside a hot-path loop allocates every iteration; hoist the buffer out of the loop")
+			return
+		case isBuiltin(pass, fun, "append") && len(call.Args) > 0:
+			checkHotAppend(pass, call, decls, loop)
+			return
+		}
+	}
+	// Type conversions that copy: string(bytes), []byte(s), []rune(s), ...
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		argT := pass.Info.TypeOf(call.Args[0])
+		if argT == nil {
+			return
+		}
+		src := argT.Underlying()
+		if conversionAllocates(dst, src) {
+			pass.Reportf(call.Pos(), "string conversion inside a hot-path loop copies its operand every iteration")
+		}
+	}
+}
+
+// conversionAllocates reports whether converting src to dst copies memory:
+// slice<->string in either direction.
+func conversionAllocates(dst, src types.Type) bool {
+	isString := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	_, dstSlice := dst.(*types.Slice)
+	_, srcSlice := src.(*types.Slice)
+	return (isString(dst) && srcSlice) || (dstSlice && isString(src))
+}
+
+func isBuiltin(pass *analysis.Pass, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func checkHotAppend(pass *analysis.Pass, call *ast.CallExpr, decls map[types.Object]ast.Expr, loop ast.Node) {
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // appends to fields/elements: assume managed by the owner
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if loop.Pos() <= obj.Pos() && obj.Pos() <= loop.End() {
+		pass.Reportf(call.Pos(), "append to %s, declared inside the loop: allocates a fresh backing array every iteration", id.Name)
+		return
+	}
+	decl, ok := decls[obj]
+	if !ok {
+		return // parameter or var without initializer: caller's business
+	}
+	if mk, ok := ast.Unparen(decl).(*ast.CallExpr); ok {
+		if mkID, ok := ast.Unparen(mk.Fun).(*ast.Ident); ok && isBuiltin(pass, mkID, "make") {
+			if len(mk.Args) >= 3 {
+				return // explicit capacity
+			}
+			if len(mk.Args) == 2 && !isZeroExpr(pass, mk.Args[1]) {
+				return // nonzero length doubles as a capacity hint
+			}
+			pass.Reportf(call.Pos(), "append to %s, made with no capacity, inside a hot-path loop; give make a capacity hint", id.Name)
+			return
+		}
+	}
+	if lit, ok := ast.Unparen(decl).(*ast.CompositeLit); ok && len(lit.Elts) == 0 {
+		pass.Reportf(call.Pos(), "append to %s grows from an empty literal inside a hot-path loop; preallocate with make and a capacity", id.Name)
+	}
+}
+
+// isZeroExpr reports whether e is a compile-time constant zero.
+func isZeroExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && isZeroConst(tv.Value)
+}

@@ -1,0 +1,139 @@
+// Package rules implements the galiot-lint rule suite: analyzers tuned to
+// this repository's bit-determinism and hot-path discipline. See DESIGN.md
+// ("Static analysis") for the rationale behind each rule.
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Nondeterminism flags sources of run-to-run variation in library code:
+// math/rand (global or not — simulations must draw from repro/internal/rng
+// so a single seed reproduces every experiment), wall-clock reads
+// (time.Now and friends), and iteration over maps where the loop body is
+// order-sensitive. It runs only on library packages (import paths
+// containing an internal/ segment); commands may read the clock.
+var Nondeterminism = &analysis.Analyzer{
+	Name:  "nondeterminism",
+	Doc:   "flags math/rand, wall-clock reads, and order-sensitive map iteration in library code",
+	Match: func(path string) bool { return strings.Contains(path, "internal/") },
+	Run:   runNondeterminism,
+}
+
+// wallClockFuncs are time-package functions whose results differ between
+// runs. Duration arithmetic and timers constructed from constants are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func runNondeterminism(pass *analysis.Pass) {
+	// Our own deterministic generator is exempt from the rules it enables.
+	if strings.HasSuffix(pass.ImportPath, "internal/rng") {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "import of %s in library code: use repro/internal/rng so experiments replay from a single seed", strings.Trim(imp.Path.Value, `"`))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, n); fn != nil &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock: simulation libraries must be replayable, pass timestamps in explicitly", fn.Name())
+				}
+			case *ast.RangeStmt:
+				t := pass.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok && orderSensitive(pass, n) {
+					pass.Reportf(n.Pos(), "order-sensitive iteration over a map: iteration order varies between runs; sort the keys first")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// orderSensitive reports whether a range-over-map body depends on the
+// visit order. The body is considered order-free only when it is pure
+// commutative accumulation: integer counters (x++, x += v, x |= v, ...)
+// and guarded max/min tracking. Anything with observable ordering — calls
+// used as statements, appends, channel sends, returns, plain assignments
+// to variables outside the loop, or floating-point accumulation (whose
+// rounding depends on summation order, which breaks bit-determinism) —
+// makes the loop order-sensitive.
+func orderSensitive(pass *analysis.Pass, loop *ast.RangeStmt) bool {
+	sensitive := false
+	var inspect func(n ast.Node, inIf bool)
+	inspect = func(n ast.Node, inIf bool) {
+		if sensitive || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				inspect(s, inIf)
+			}
+		case *ast.IfStmt:
+			inspect(n.Body, true)
+			inspect(n.Else, true)
+		case *ast.IncDecStmt:
+			// counters are commutative
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+				token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				// Commutative for integers; for floats the rounding of the
+				// running value depends on visit order.
+				for _, lhs := range n.Lhs {
+					if t := pass.Info.TypeOf(lhs); t != nil && analysis.IsFloat(t) {
+						sensitive = true
+					}
+				}
+			case token.DEFINE:
+				// loop-local temporaries are fine
+			case token.ASSIGN:
+				// Plain assignment is only order-free in the guarded
+				// max/min-tracking idiom: if v > best { best = v }.
+				if !inIf {
+					sensitive = true
+				}
+			default:
+				sensitive = true
+			}
+		case *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt:
+			// declarations, continue/break: fine
+		default:
+			// calls as statements, sends, returns, nested loops with
+			// effects, defers, ...: assume order matters.
+			sensitive = true
+		}
+	}
+	inspect(loop.Body, false)
+	return sensitive
+}

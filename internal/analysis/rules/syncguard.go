@@ -1,0 +1,220 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// MutexByValue flags sync primitives (Mutex, RWMutex, WaitGroup, Once,
+// Cond, Map, Pool) copied by value: value receivers and parameters, value
+// returns, and plain value copies of variables whose type contains a lock.
+// A copied lock is a distinct lock — the copy guards nothing — and a
+// copied WaitGroup loses its counter. This is the stdlib-only counterpart
+// of vet's copylocks, kept in the suite so the lint gate catches it even
+// where vet is not run.
+var MutexByValue = &analysis.Analyzer{
+	Name: "mutexbyvalue",
+	Doc:  "flags sync primitives copied by value (receivers, params, returns, assignments)",
+	Run:  runMutexByValue,
+}
+
+func runMutexByValue(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkFieldListCopies(pass, n.Recv, "receiver")
+				}
+				checkFuncTypeCopies(pass, n.Type)
+			case *ast.FuncLit:
+				checkFuncTypeCopies(pass, n.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkValueCopy(pass, rhs)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.Info.TypeOf(n.Value); t != nil && analysis.TypeContainsSync(t) {
+						pass.Reportf(n.Value.Pos(), "range value copies a %s containing a sync primitive; iterate by index or use pointers", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncTypeCopies(pass *analysis.Pass, ft *ast.FuncType) {
+	checkFieldListCopies(pass, ft.Params, "parameter")
+	checkFieldListCopies(pass, ft.Results, "result")
+}
+
+func checkFieldListCopies(pass *analysis.Pass, fl *ast.FieldList, what string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if analysis.TypeContainsSync(t) {
+			pass.Reportf(field.Type.Pos(), "%s passes %s by value, copying its sync primitive; use a pointer", what, t)
+		}
+	}
+}
+
+// checkValueCopy flags x := y / x = y where y is an existing value (not a
+// fresh composite literal or call result) whose type contains a lock.
+func checkValueCopy(pass *analysis.Pass, rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return // composite literals and call results are fresh values
+	}
+	t := pass.Info.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if analysis.TypeContainsSync(t) {
+		pass.Reportf(rhs.Pos(), "assignment copies a %s containing a sync primitive; use a pointer", t)
+	}
+}
+
+// UnguardedStats prepares the ground for the concurrent gateway: in any
+// package that spawns goroutines, a struct whose methods mutate its fields
+// but which carries no sync primitive is a data race waiting to happen the
+// moment two goroutines share it (the gateway.Stats counters were the
+// motivating case). The fix is to add a mutex field and take it in the
+// mutating methods; once the struct has any sync field the rule trusts the
+// author and stands down (lock-discipline proofs are out of scope for a
+// syntactic rule).
+var UnguardedStats = &analysis.Analyzer{
+	Name: "unguardedstats",
+	Doc:  "flags method mutations of lock-free structs in packages that spawn goroutines",
+	Run:  runUnguardedStats,
+}
+
+func runUnguardedStats(pass *analysis.Pass) {
+	spawns := false
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				spawns = true
+			}
+			return !spawns
+		})
+	}
+	if !spawns {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			if len(recvField.Names) == 0 {
+				continue
+			}
+			recvObj := pass.Info.Defs[recvField.Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			st := namedStruct(recvObj.Type())
+			if st == nil || structHasSyncField(st) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IncDecStmt:
+					reportUnguardedWrite(pass, n.X, recvObj)
+				case *ast.AssignStmt:
+					if n.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						reportUnguardedWrite(pass, lhs, recvObj)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// namedStruct unwraps a (possibly pointer) receiver type to its struct
+// underlying type.
+func namedStruct(t types.Type) *types.Struct {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+func structHasSyncField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if analysis.TypeContainsSync(ft) {
+			return true
+		}
+		if ptr, ok := ft.Underlying().(*types.Pointer); ok && analysis.TypeContainsSync(ptr.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+// reportUnguardedWrite flags lhs when it is a field chain rooted at the
+// receiver (r.f = ..., r.stats.Count++).
+func reportUnguardedWrite(pass *analysis.Pass, lhs ast.Expr, recv types.Object) {
+	expr := ast.Unparen(lhs)
+	fields := 0
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			fields++
+			expr = ast.Unparen(e.X)
+		case *ast.IndexExpr:
+			expr = ast.Unparen(e.X)
+		case *ast.StarExpr:
+			expr = ast.Unparen(e.X)
+		case *ast.Ident:
+			if fields > 0 && pass.Info.Uses[e] == recv {
+				pass.Reportf(lhs.Pos(), "%s written without synchronization in a package that spawns goroutines; guard %s with a sync.Mutex", exprString(lhs), recv.Type())
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// exprString renders a small lvalue expression for a message.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "field"
+}

@@ -1,0 +1,57 @@
+// Package errdrop is golden-test data for the errdrop analyzer.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"x/internal/backhaul"
+)
+
+// Ship drops protocol errors in three ways.
+func Ship(c *backhaul.Conn) {
+	c.SendBye()    // want "errdrop: error result of SendBye dropped"
+	go c.SendBye() // want "errdrop: go error result of SendBye dropped"
+	defer c.SendBye()
+}
+
+// Blank discards a high-stakes error explicitly.
+func Blank(c *backhaul.Conn) {
+	_ = c.SendBye() // want "errdrop: error from backhaul.SendBye discarded into _"
+}
+
+// BlankTuple discards only the error position of a multi-value result.
+func BlankTuple(c *backhaul.Conn) []byte {
+	_, payload, _ := c.ReadMessage() // want "errdrop: error from backhaul.ReadMessage discarded into _"
+	return payload
+}
+
+// Handled is the correct form: not flagged.
+func Handled(c *backhaul.Conn) error {
+	if err := c.SendBye(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Logging shows the allowlist: terminal and in-memory sinks are exempt,
+// real writers are not.
+func Logging(buf *bytes.Buffer, w io.Writer) {
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "ok\n")
+	fmt.Fprintf(buf, "ok\n")
+	fmt.Fprintf(w, "ok\n") // want "errdrop: error result of Fprintf dropped"
+}
+
+// Copy drops an io error.
+func Copy(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want "errdrop: error result of Copy dropped"
+}
+
+// Suppressed shows a justified discard.
+func Suppressed(c *backhaul.Conn) {
+	//lint:ignore errdrop best-effort goodbye on an already-failed session
+	c.SendBye()
+}

@@ -1,0 +1,42 @@
+// Package floateq is golden-test data for the floateq analyzer.
+package floateq
+
+// Near compares computed floats exactly.
+func Near(a, b float64) bool {
+	return a == b // want "floateq: exact == on floating-point operands"
+}
+
+// Differ is the != spelling of the same bug.
+func Differ(a, b float64) bool {
+	return a != b // want "floateq: exact != on floating-point operands"
+}
+
+// Threshold compares against a nonzero constant.
+func Threshold(x float64) bool {
+	return x == 0.25 // want "floateq: exact == on floating-point operands"
+}
+
+// ComplexEq compares complex samples exactly.
+func ComplexEq(a, b complex128) bool {
+	return a == b // want "floateq: exact == on floating-point operands"
+}
+
+// Zero guards against division by an exact zero: not flagged.
+func Zero(p float64) bool { return p == 0 }
+
+// IsNaN is the standard NaN probe: not flagged.
+func IsNaN(x float64) bool { return x != x }
+
+const half = 0.5
+
+// Consts fold at compile time: not flagged.
+func Consts() bool { return half == 0.5 }
+
+// Ints are exact: not flagged.
+func Ints(a, b int) bool { return a == b }
+
+// Sentinel shows a justified suppression.
+func Sentinel(x float64) bool {
+	//lint:ignore floateq the sentinel is only ever assigned, never computed
+	return x == 12345.0
+}

@@ -1,0 +1,91 @@
+// Package dsp is golden-test data for the hotloopalloc analyzer.
+package dsp
+
+// Window allocates a fresh buffer every iteration.
+func Window(blocks [][]float64) [][]float64 {
+	out := make([][]float64, 0, len(blocks))
+	for _, b := range blocks {
+		w := make([]float64, len(b)) // want "hotloopalloc: make inside a hot-path loop"
+		copy(w, b)
+		out = append(out, w)
+	}
+	return out
+}
+
+// Hoisted reuses one buffer across iterations: not flagged.
+func Hoisted(blocks [][]float64) int {
+	buf := make([]float64, 64)
+	n := 0
+	for range blocks {
+		n += len(buf)
+	}
+	return n
+}
+
+// Names converts bytes to string once per row, copying each time.
+func Names(rows [][]byte) int {
+	n := 0
+	for _, r := range rows {
+		s := string(r) // want "hotloopalloc: string conversion inside a hot-path loop"
+		n += len(s)
+	}
+	return n
+}
+
+// GrowEmpty grows a slice with no capacity hint.
+func GrowEmpty(xs []int) []int {
+	out := []int{}
+	for _, x := range xs {
+		out = append(out, x) // want "hotloopalloc: append to out grows from an empty literal"
+	}
+	return out
+}
+
+// GrowZeroMake is the make spelling of the same growth pattern.
+func GrowZeroMake(xs []int) []int {
+	out := make([]int, 0)
+	for _, x := range xs {
+		out = append(out, x) // want "hotloopalloc: append to out, made with no capacity"
+	}
+	return out
+}
+
+// GrowPrealloc gives make a capacity: not flagged.
+func GrowPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// PerIter declares the destination inside the loop body.
+func PerIter(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		row := []int{}
+		row = append(row, i) // want "hotloopalloc: append to row, declared inside the loop"
+		total += len(row)
+	}
+	return total
+}
+
+// Closure bodies do not run per iteration of the loop declaring them.
+func Closure(xs []int) []func() []byte {
+	var fns []func() []byte
+	for range xs {
+		fns = append(fns, func() []byte { return make([]byte, 8) })
+	}
+	return fns
+}
+
+// Suppressed shows a justified per-call allocation.
+func Suppressed(spans []int) [][]complex128 {
+	out := make([][]complex128, 0, len(spans))
+	for _, n := range spans {
+		//lint:ignore hotloopalloc each segment escapes via the result and needs its own buffer
+		seg := make([]complex128, n)
+		out = append(out, seg)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+// Package mutexbyvalue is golden-test data for the mutexbyvalue analyzer.
+package mutexbyvalue
+
+import "sync"
+
+// Guarded carries a lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the lock into the parameter.
+func ByValue(g Guarded) int { return g.n } // want "mutexbyvalue: parameter passes mutexbyvalue.Guarded by value"
+
+// ByPointer is the correct form: not flagged.
+func ByPointer(g *Guarded) int { return g.n }
+
+// Snapshot copies the lock into the receiver.
+func (g Guarded) Snapshot() int { return g.n } // want "mutexbyvalue: receiver passes mutexbyvalue.Guarded by value"
+
+// Make returns the struct (and its lock) by value.
+func Make() Guarded { return Guarded{} } // want "mutexbyvalue: result passes mutexbyvalue.Guarded by value"
+
+// Copy duplicates an existing lock.
+func Copy(g *Guarded) int {
+	c := *g // want "mutexbyvalue: assignment copies a mutexbyvalue.Guarded"
+	return c.n
+}
+
+// Each copies the lock into the range variable.
+func Each(gs []Guarded) int {
+	n := 0
+	for _, g := range gs { // want "mutexbyvalue: range value copies a mutexbyvalue.Guarded"
+		n += g.n
+	}
+	return n
+}
+
+// Wait copies a WaitGroup, losing its counter.
+func Wait(wg sync.WaitGroup) { wg.Wait() } // want "mutexbyvalue: parameter passes sync.WaitGroup by value"
+
+// Plain types copy freely: not flagged.
+func Plain(xs []int) []int {
+	out := xs
+	return out
+}

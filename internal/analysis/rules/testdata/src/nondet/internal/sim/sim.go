@@ -1,0 +1,73 @@
+// Package sim is golden-test data for the nondeterminism analyzer.
+package sim
+
+import (
+	"math/rand" // want "nondeterminism: import of math/rand"
+	"sort"
+	"time"
+)
+
+// Jitter draws from the global math/rand source instead of internal/rng.
+func Jitter() float64 { return rand.Float64() }
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "nondeterminism: time.Now reads the wall clock"
+}
+
+// Elapsed also reads the wall clock.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "nondeterminism: time.Since reads the wall clock"
+}
+
+// Ago is fine: duration arithmetic is deterministic.
+func Ago(d time.Duration) time.Duration { return 2 * d }
+
+// Collect is order-sensitive: the append observes map order.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "nondeterminism: order-sensitive iteration over a map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Count is pure integer accumulation: order-free, not flagged.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SumPower accumulates floats, whose rounding depends on visit order.
+func SumPower(m map[string]float64) float64 {
+	var p float64
+	for _, v := range m { // want "nondeterminism: order-sensitive iteration over a map"
+		p += v
+	}
+	return p
+}
+
+// Best uses guarded max tracking: order-free, not flagged.
+func Best(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Keys collects then sorts; the suppression records why it is safe.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lint:ignore nondeterminism keys are sorted before returning
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

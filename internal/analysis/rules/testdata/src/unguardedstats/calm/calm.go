@@ -1,0 +1,9 @@
+// Package calm is the negative case for unguardedstats: no goroutine is
+// ever spawned here, so single-threaded counter mutation is fine.
+package calm
+
+// Tally is a lock-free counter block.
+type Tally struct{ n int }
+
+// Bump mutates without a lock, which is fine in a serial package.
+func (t *Tally) Bump() { t.n++ }

@@ -1,0 +1,13 @@
+// Package backhaul is golden-test support for the errdrop analyzer: a
+// stand-in for the real wire protocol whose import path ends in
+// internal/backhaul, which marks its callees high-stakes.
+package backhaul
+
+// Conn is a fake protocol connection.
+type Conn struct{}
+
+// SendBye pretends to write a shutdown marker.
+func (c *Conn) SendBye() error { return nil }
+
+// ReadMessage pretends to read one framed message.
+func (c *Conn) ReadMessage() (byte, []byte, error) { return 0, nil, nil }

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax: a comment of the form
+//
+//	//lint:ignore <rule> <reason>
+//
+// suppresses findings of <rule> on the same line as the comment and on the
+// line immediately following it (so it can sit either at the end of the
+// offending line or on its own line above). The reason is mandatory; an
+// ignore directive without one is itself reported as a bad-directive
+// finding so silent suppressions cannot accumulate.
+
+type suppressions struct {
+	// byLine maps filename -> line -> set of suppressed rule names.
+	byLine map[string]map[int]map[string]bool
+	bad    []Diagnostic
+}
+
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.bad = append(s.bad, Diagnostic{
+						Rule:    "baddirective",
+						Pos:     pos,
+						Message: "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				rule := fields[0]
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s.byLine[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = make(map[string]bool)
+					}
+					lines[line][rule] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(rule string, pos token.Position) bool {
+	return s.byLine[pos.Filename][pos.Line][rule]
+}

@@ -1,0 +1,91 @@
+package backhaul
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/iq"
+)
+
+// FuzzSegmentCodec drives the segment codec from two directions at once:
+// the sample bytes are first treated as a CU8 capture and pushed through a
+// full Encode/DecodeSegment round trip (metadata and samples must survive
+// within quantization error), and then fed raw to DecodeSegment, which must
+// reject or accept arbitrary payloads without panicking.
+func FuzzSegmentCodec(f *testing.F) {
+	// Seeds mirror the fixtures the unit tests exercise: empty, a short
+	// ramp, noise-like bytes, and a repetitive tone-like run that flate
+	// actually compresses.
+	f.Add(int64(0), uint64(math.Float64bits(1e6)), []byte{}, uint8(0), false)
+	f.Add(int64(123456), uint64(math.Float64bits(1e6)), []byte{0, 64, 128, 192, 255, 127}, uint8(0), true)
+	f.Add(int64(-9), uint64(math.Float64bits(250e3)), []byte{200, 55, 13, 240, 99, 1, 128, 128}, uint8(1), true)
+	tone := make([]byte, 512)
+	for i := range tone {
+		tone[i] = byte(128 + 100*((i/2)%2))
+	}
+	f.Add(int64(1<<40), uint64(math.Float64bits(2.4e6)), tone, uint8(2), false)
+
+	f.Fuzz(func(t *testing.T, start int64, rateBits uint64, data []byte, formatSel uint8, compress bool) {
+		// Direction 1: arbitrary bytes straight into the decoder. Errors are
+		// expected; panics and runaway allocation are the bugs.
+		if seg, err := DecodeSegment(data); err == nil {
+			// The flate reader is capped at MaxMessageSize, so sample counts
+			// past it mean the length guard broke.
+			if len(seg.Samples) > MaxMessageSize {
+				t.Fatalf("decoder produced %d samples from %d bytes", len(seg.Samples), len(data))
+			}
+		}
+
+		// Direction 2: interpret the bytes as a CU8 capture and round-trip
+		// it through every codec configuration.
+		rate := math.Float64frombits(rateBits)
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			rate = 1e6
+		}
+		if len(data)%2 == 1 {
+			data = data[:len(data)-1]
+		}
+		samples, err := iq.Decode(data, iq.CU8)
+		if err != nil {
+			t.Fatalf("CU8 decode of even-length bytes failed: %v", err)
+		}
+		format := iq.Format(formatSel % 3) // CU8, CS16, CF32
+		sc := SegmentCodec{Format: format, Compress: compress}
+		seg := Segment{Start: start, SampleRate: rate, Samples: samples}
+		payload, err := sc.Encode(seg)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeSegment(payload)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded payload: %v", err)
+		}
+		if got.Start != start || len(got.Samples) != len(samples) {
+			t.Fatalf("metadata changed: start %d→%d, %d→%d samples",
+				start, got.Start, len(samples), len(got.Samples))
+		}
+		if math.Float64bits(got.SampleRate) != math.Float64bits(rate) {
+			t.Fatalf("sample rate changed: %v → %v", rate, got.SampleRate)
+		}
+		// Quantization error bound: CU8 sees the coarsest grid. The AGC
+		// scale can shrink tiny signals below one LSB, so normalize the
+		// tolerance by the peak the encoder saw.
+		peak := 0.0
+		for _, v := range samples {
+			peak = math.Max(peak, math.Max(math.Abs(real(v)), math.Abs(imag(v))))
+		}
+		tol := 1e-3
+		if format == iq.CU8 {
+			tol = 2.0 / 127.5
+		}
+		if peak > 0 {
+			tol *= peak / 0.98
+		}
+		for i := range samples {
+			d := got.Samples[i] - samples[i]
+			if math.Abs(real(d)) > tol || math.Abs(imag(d)) > tol {
+				t.Fatalf("sample %d drifted by %v (tol %v, peak %v)", i, d, tol, peak)
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestPackUnpackRoundTrip(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(data []byte) bool {
 		return bytes.Equal(Pack(Unpack(data)), data)
 	}, nil); err != nil {
@@ -15,6 +16,7 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 }
 
 func TestPackUnpackLSBRoundTrip(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(data []byte) bool {
 		return bytes.Equal(PackLSB(UnpackLSB(data)), data)
 	}, nil); err != nil {
@@ -23,6 +25,7 @@ func TestPackUnpackLSBRoundTrip(t *testing.T) {
 }
 
 func TestUnpackKnown(t *testing.T) {
+	t.Parallel()
 	got := Unpack([]byte{0xA5})
 	want := []byte{1, 0, 1, 0, 0, 1, 0, 1}
 	if !bytes.Equal(got, want) {
@@ -37,6 +40,7 @@ func TestUnpackKnown(t *testing.T) {
 }
 
 func TestPackPartialByte(t *testing.T) {
+	t.Parallel()
 	got := Pack([]byte{1, 1, 1})
 	if len(got) != 1 || got[0] != 0xE0 {
 		t.Fatalf("Pack partial = %#x", got)
@@ -44,6 +48,7 @@ func TestPackPartialByte(t *testing.T) {
 }
 
 func TestXorAndHammingDistance(t *testing.T) {
+	t.Parallel()
 	a := []byte{1, 0, 1, 1}
 	b := []byte{1, 1, 1, 0}
 	x := Xor(a, b)
@@ -59,6 +64,7 @@ func TestXorAndHammingDistance(t *testing.T) {
 }
 
 func TestGrayRoundTrip(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(v uint32) bool {
 		return GrayDecode(GrayEncode(v)) == v
 	}, nil); err != nil {
@@ -67,6 +73,7 @@ func TestGrayRoundTrip(t *testing.T) {
 }
 
 func TestGrayAdjacency(t *testing.T) {
+	t.Parallel()
 	// Successive Gray codes differ in exactly one bit — the property that
 	// makes ±1 LoRa symbol errors cost one bit.
 	for v := uint32(0); v < 4096; v++ {
@@ -79,6 +86,7 @@ func TestGrayAdjacency(t *testing.T) {
 }
 
 func TestManchesterRoundTrip(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(data []byte) bool {
 		in := Unpack(data)
 		dec, viol := ManchesterDecode(Manchester(in))
@@ -89,6 +97,7 @@ func TestManchesterRoundTrip(t *testing.T) {
 }
 
 func TestManchesterViolations(t *testing.T) {
+	t.Parallel()
 	_, viol := ManchesterDecode([]byte{0, 0, 1, 1, 0, 1})
 	if viol != 2 {
 		t.Fatalf("violations = %d, want 2", viol)
@@ -96,6 +105,7 @@ func TestManchesterViolations(t *testing.T) {
 }
 
 func TestRepeat(t *testing.T) {
+	t.Parallel()
 	got := Repeat([]byte{1, 0}, 3)
 	if !bytes.Equal(got, []byte{1, 1, 1, 0, 0, 0}) {
 		t.Fatalf("repeat = %v", got)
@@ -103,6 +113,7 @@ func TestRepeat(t *testing.T) {
 }
 
 func TestCRC16CCITTVectors(t *testing.T) {
+	t.Parallel()
 	// Standard check value for "123456789".
 	if got := CRC16CCITT([]byte("123456789")); got != 0x29B1 {
 		t.Fatalf("CRC16-CCITT = %#04x, want 0x29B1", got)
@@ -113,6 +124,7 @@ func TestCRC16CCITTVectors(t *testing.T) {
 }
 
 func TestCRC16IBMVectors(t *testing.T) {
+	t.Parallel()
 	// CRC-16/ARC check value for "123456789".
 	if got := CRC16IBM([]byte("123456789")); got != 0xBB3D {
 		t.Fatalf("CRC16-ARC = %#04x, want 0xBB3D", got)
@@ -120,6 +132,7 @@ func TestCRC16IBMVectors(t *testing.T) {
 }
 
 func TestCRCDetectsCorruption(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(data []byte, flipByte uint8, flipBit uint8) bool {
 		if len(data) == 0 {
 			return true
@@ -134,12 +147,14 @@ func TestCRCDetectsCorruption(t *testing.T) {
 }
 
 func TestCRC8XOR(t *testing.T) {
+	t.Parallel()
 	if got := CRC8XOR(0xFF, []byte{0x01, 0x02, 0x03}); got != 0xFF^0x01^0x02^0x03 {
 		t.Fatalf("xor checksum = %#02x", got)
 	}
 }
 
 func TestCRC24BLEProperties(t *testing.T) {
+	t.Parallel()
 	// Differential check: any single-bit corruption changes the CRC.
 	if err := quick.Check(func(data []byte, flipByte, flipBit uint8) bool {
 		if len(data) == 0 {
@@ -161,6 +176,7 @@ func TestCRC24BLEProperties(t *testing.T) {
 }
 
 func TestBLEWhitenerInvolutionAndPeriod(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(data []byte, ch uint8) bool {
 		w1, w2 := NewBLEWhitener(ch), NewBLEWhitener(ch)
 		return bytes.Equal(w2.ApplyBytes(w1.ApplyBytes(data)), data)

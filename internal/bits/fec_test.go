@@ -7,6 +7,7 @@ import (
 )
 
 func TestHammingRoundTripAllNibbles(t *testing.T) {
+	t.Parallel()
 	for cr := 1; cr <= 4; cr++ {
 		for n := byte(0); n < 16; n++ {
 			code := HammingEncodeNibble(n, cr)
@@ -22,6 +23,7 @@ func TestHammingRoundTripAllNibbles(t *testing.T) {
 }
 
 func TestHammingCorrectsSingleBitError(t *testing.T) {
+	t.Parallel()
 	for _, cr := range []int{3, 4} {
 		for n := byte(0); n < 16; n++ {
 			for pos := 0; pos < 4+cr; pos++ {
@@ -40,6 +42,7 @@ func TestHammingCorrectsSingleBitError(t *testing.T) {
 }
 
 func TestHammingCR4DetectsDoubleError(t *testing.T) {
+	t.Parallel()
 	detected := 0
 	total := 0
 	for n := byte(0); n < 16; n++ {
@@ -66,6 +69,7 @@ func TestHammingCR4DetectsDoubleError(t *testing.T) {
 }
 
 func TestHammingCR1CR2DetectErrors(t *testing.T) {
+	t.Parallel()
 	for _, cr := range []int{1, 2} {
 		code := HammingEncodeNibble(0xA, cr)
 		code[0] ^= 1
@@ -77,6 +81,7 @@ func TestHammingCR1CR2DetectErrors(t *testing.T) {
 }
 
 func TestHammingBytesRoundTrip(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(data []byte, crRaw uint8) bool {
 		cr := int(crRaw%4) + 1
 		enc := HammingEncode(data, cr)
@@ -88,6 +93,7 @@ func TestHammingBytesRoundTrip(t *testing.T) {
 }
 
 func TestHammingBytesCorrection(t *testing.T) {
+	t.Parallel()
 	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
 	enc := HammingEncode(data, 4)
 	// flip one bit in each 8-bit block
@@ -104,6 +110,7 @@ func TestHammingBytesCorrection(t *testing.T) {
 }
 
 func TestHammingDecodeWrongLength(t *testing.T) {
+	t.Parallel()
 	_, _, bad := HammingDecodeNibble([]byte{1, 0, 1}, 3)
 	if !bad {
 		t.Fatal("short code should be flagged")
@@ -111,6 +118,7 @@ func TestHammingDecodeWrongLength(t *testing.T) {
 }
 
 func TestHammingEncodePanicsOnBadCR(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("cr=5 should panic")

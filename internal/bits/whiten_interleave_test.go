@@ -7,6 +7,7 @@ import (
 )
 
 func TestWhitenerInvolution(t *testing.T) {
+	t.Parallel()
 	for _, mk := range []func() *Whitener{NewLoRaWhitener, NewDC9Whitener} {
 		if err := quick.Check(func(data []byte) bool {
 			w1, w2 := mk(), mk()
@@ -20,6 +21,7 @@ func TestWhitenerInvolution(t *testing.T) {
 }
 
 func TestWhitenerReset(t *testing.T) {
+	t.Parallel()
 	w := NewLoRaWhitener()
 	first := make([]byte, 32)
 	for i := range first {
@@ -34,6 +36,7 @@ func TestWhitenerReset(t *testing.T) {
 }
 
 func TestWhitenerBalanced(t *testing.T) {
+	t.Parallel()
 	// Keystream should be roughly balanced between 0s and 1s.
 	for name, mk := range map[string]func() *Whitener{"lora": NewLoRaWhitener, "pn9": NewDC9Whitener} {
 		w := mk()
@@ -49,6 +52,7 @@ func TestWhitenerBalanced(t *testing.T) {
 }
 
 func TestWhitenerPeriod(t *testing.T) {
+	t.Parallel()
 	// PN9 has period 511; the state must return to the seed after 511 steps
 	// and not before half that.
 	w := NewDC9Whitener()
@@ -67,6 +71,7 @@ func TestWhitenerPeriod(t *testing.T) {
 }
 
 func TestDiagonalInterleaveRoundTrip(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(seed int64, sfRaw, crRaw uint8) bool {
 		sf := int(sfRaw%6) + 7 // 7..12
 		cw := int(crRaw%4) + 5 // 5..8
@@ -84,6 +89,7 @@ func TestDiagonalInterleaveRoundTrip(t *testing.T) {
 }
 
 func TestDiagonalInterleaveSpreadsSymbols(t *testing.T) {
+	t.Parallel()
 	// Corrupting one interleaved symbol (sf bits) must damage at most one
 	// bit of each codeword.
 	sf, cw := 8, 5
@@ -108,6 +114,7 @@ func TestDiagonalInterleaveSpreadsSymbols(t *testing.T) {
 }
 
 func TestInterleavePanicsOnBadLength(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("bad length should panic")
@@ -117,6 +124,7 @@ func TestInterleavePanicsOnBadLength(t *testing.T) {
 }
 
 func TestSymbolsBitsRoundTrip(t *testing.T) {
+	t.Parallel()
 	if err := quick.Check(func(raw []uint32, widthRaw uint8) bool {
 		width := int(widthRaw%12) + 1
 		symbols := make([]uint32, len(raw))
@@ -140,6 +148,7 @@ func TestSymbolsBitsRoundTrip(t *testing.T) {
 }
 
 func TestSymbolsFromBitsDropsPartial(t *testing.T) {
+	t.Parallel()
 	got := SymbolsFromBits([]byte{1, 0, 1, 1, 1}, 2)
 	if len(got) != 2 || got[0] != 0b10 || got[1] != 0b11 {
 		t.Fatalf("symbols = %v", got)

@@ -239,6 +239,7 @@ func (d *Decoder) Decode(rx []complex128) ([]*phy.Frame, Stats) {
 		}
 		return false
 	}
+	var others []Candidate // kill-filter scratch, reused across retries
 	for round := 0; round < maxRounds; round++ {
 		cands := d.Classify(residual)
 		if len(cands) == 0 {
@@ -267,7 +268,7 @@ func (d *Decoder) Decode(rx []complex128) ([]*phy.Frame, Stats) {
 			}
 			// Kill-filter fallback: remove other candidates, weakest
 			// first, and retry this technology on the filtered view.
-			others := make([]Candidate, 0, len(cands)-1)
+			others = others[:0]
 			for oi, o := range cands {
 				if oi != ci && o.Tech.Name() != c.Tech.Name() {
 					others = append(others, o)

@@ -274,6 +274,7 @@ func codeWaveforms(tech phy.CodedTechnology, fs float64) [][]complex128 {
 	}
 	out := make([][]complex128, len(codes))
 	for ci, code := range codes {
+		//lint:ignore hotloopalloc one waveform per spreading code, each escaping via the result
 		w := make([]complex128, symLen)
 		for i, chip := range code {
 			d := float64(2*int(chip) - 1)

@@ -17,6 +17,7 @@ func unitBurst(n int) []complex128 {
 }
 
 func TestMixNoiseFree(t *testing.T) {
+	t.Parallel()
 	e := Emission{Samples: unitBurst(10), Offset: 5, SNRdB: 0}
 	out := Mix(20, []Emission{e}, nil, 1e6)
 	if out[4] != 0 || out[15] != 0 {
@@ -28,6 +29,7 @@ func TestMixNoiseFree(t *testing.T) {
 }
 
 func TestMixSNRCalibration(t *testing.T) {
+	t.Parallel()
 	gen := rng.New(1)
 	const n = 200000
 	for _, snr := range []float64{-10, 0, 10} {
@@ -46,6 +48,7 @@ func TestMixSNRCalibration(t *testing.T) {
 }
 
 func TestMixSuperposition(t *testing.T) {
+	t.Parallel()
 	e1 := Emission{Samples: unitBurst(10), Offset: 0, SNRdB: 0}
 	e2 := Emission{Samples: unitBurst(10), Offset: 5, SNRdB: 0}
 	out := Mix(20, []Emission{e1, e2}, nil, 1e6)
@@ -58,6 +61,7 @@ func TestMixSuperposition(t *testing.T) {
 }
 
 func TestMixCFOAndPhase(t *testing.T) {
+	t.Parallel()
 	e := Emission{Samples: unitBurst(1000), CFO: 10000, Phase: math.Pi / 2, SNRdB: 0}
 	out := Mix(1000, []Emission{e}, nil, 1e6)
 	// first sample rotated by phase
@@ -71,6 +75,7 @@ func TestMixCFOAndPhase(t *testing.T) {
 }
 
 func TestAWGNPower(t *testing.T) {
+	t.Parallel()
 	gen := rng.New(2)
 	x := AWGN(100000, gen)
 	if p := dsp.Power(x); math.Abs(p-1) > 0.02 {
@@ -79,6 +84,7 @@ func TestAWGNPower(t *testing.T) {
 }
 
 func TestAttenuate(t *testing.T) {
+	t.Parallel()
 	x := unitBurst(1000)
 	y := Attenuate(x, -20)
 	if p := dsp.DB(dsp.Power(y)); math.Abs(p+20) > 0.01 {

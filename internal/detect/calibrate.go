@@ -36,8 +36,8 @@ func CalibrateThreshold(d Detector, captureLen, captures int, falseRate float64,
 	}
 	maxima := make([]float64, 0, captures)
 	peak := math.Inf(-1)
+	noise := make([]complex128, captureLen) // reused; fully rewritten per capture
 	for c := 0; c < captures; c++ {
-		noise := make([]complex128, captureLen)
 		local := gen.Split(uint64(c) + 1)
 		for i := range noise {
 			noise[i] = local.Complex()

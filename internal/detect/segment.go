@@ -47,6 +47,7 @@ func ExtractSegments(rx []complex128, detections []Detection, maxPacket int) []S
 	}
 	out := make([]Segment, 0, len(merged))
 	for _, s := range merged {
+		//lint:ignore hotloopalloc each segment escapes via the result and needs its own backing buffer
 		seg := make([]complex128, s.hi-s.lo)
 		copy(seg, rx[s.lo:s.hi])
 		out = append(out, Segment{Start: s.lo, Samples: seg})

@@ -89,11 +89,14 @@ func BuildUniversal(techs []phy.Technology, fs float64) (*Universal, error) {
 		r := find(i)
 		groupIdx[r] = append(groupIdx[r], i)
 	}
+	// Collect group representatives in ascending index order (avoiding
+	// map-iteration order): a union-find root is its own parent.
 	roots := make([]int, 0, len(groupIdx))
-	for r := range groupIdx {
-		roots = append(roots, r)
+	for i := range techs {
+		if find(i) == i {
+			roots = append(roots, i)
+		}
 	}
-	sort.Ints(roots)
 
 	maxLen := 0
 	var groups []Group

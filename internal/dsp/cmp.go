@@ -1,0 +1,35 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// ApproxEqual reports whether a and b differ by at most tol. This is the
+// comparison DSP code must use instead of ==/!= (enforced by the floateq
+// lint rule): filter, FFT and resampler outputs accumulate rounding, so
+// exact equality on computed float64 values is a latent bug. NaN compares
+// unequal to everything, including itself.
+func ApproxEqual(a, b, tol float64) bool {
+	//lint:ignore floateq exact equality implies approximate equality; also equates same-sign infinities, where a-b is NaN
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// ApproxEqualRel reports whether a and b agree to within the relative
+// tolerance rel, scaled by the larger magnitude (with an absolute floor of
+// rel itself, so values near zero compare sanely).
+func ApproxEqualRel(a, b, rel float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= rel*scale
+}
+
+// ApproxEqualComplex reports whether |a-b| <= tol in the complex plane.
+func ApproxEqualComplex(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}

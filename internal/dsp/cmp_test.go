@@ -1,0 +1,53 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-3, false},
+		{-2, -2.0005, 1e-3, true},
+		{math.NaN(), math.NaN(), 1, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualRel(t *testing.T) {
+	t.Parallel()
+	if !ApproxEqualRel(1e9, 1e9+1, 1e-6) {
+		t.Error("1e9 and 1e9+1 should agree at rel 1e-6")
+	}
+	if ApproxEqualRel(1e9, 1.001e9, 1e-6) {
+		t.Error("1e9 and 1.001e9 should differ at rel 1e-6")
+	}
+	if !ApproxEqualRel(0, 1e-12, 1e-9) {
+		t.Error("values near zero should use the absolute floor")
+	}
+}
+
+func TestApproxEqualComplex(t *testing.T) {
+	t.Parallel()
+	if !ApproxEqualComplex(1+2i, 1+2i, 0) {
+		t.Error("identical complex values should be equal at tol 0")
+	}
+	if !ApproxEqualComplex(1+2i, 1.0000001+2i, 1e-6) {
+		t.Error("complex values within tol should compare equal")
+	}
+	if ApproxEqualComplex(1+2i, 1+3i, 0.5) {
+		t.Error("complex values 1 apart should differ at tol 0.5")
+	}
+}

@@ -9,6 +9,7 @@ import (
 )
 
 func TestCrossCorrelatePeakAtOffset(t *testing.T) {
+	t.Parallel()
 	r := rng.New(1)
 	ref := randomVec(r, 64)
 	for _, offset := range []int{0, 10, 100, 400} {
@@ -23,6 +24,7 @@ func TestCrossCorrelatePeakAtOffset(t *testing.T) {
 }
 
 func TestCrossCorrelateFFTPathMatchesDirect(t *testing.T) {
+	t.Parallel()
 	r := rng.New(2)
 	ref := randomVec(r, 700) // 700 * 1000 > 1<<17 forces FFT on the long input
 	x := randomVec(r, 1000)
@@ -45,6 +47,7 @@ func TestCrossCorrelateFFTPathMatchesDirect(t *testing.T) {
 }
 
 func TestCrossCorrelateDegenerate(t *testing.T) {
+	t.Parallel()
 	if CrossCorrelate(nil, []complex128{1}) != nil {
 		t.Fatal("ref longer than x should return nil")
 	}
@@ -58,6 +61,7 @@ func TestCrossCorrelateDegenerate(t *testing.T) {
 }
 
 func TestNormalizedCorrelatePerfectMatch(t *testing.T) {
+	t.Parallel()
 	r := rng.New(3)
 	ref := randomVec(r, 128)
 	x := make([]complex128, 600)
@@ -80,6 +84,7 @@ func TestNormalizedCorrelatePerfectMatch(t *testing.T) {
 }
 
 func TestNormalizedCorrelateShiftEquivariance(t *testing.T) {
+	t.Parallel()
 	r := rng.New(4)
 	ref := randomVec(r, 32)
 	f := func(shiftRaw uint16) bool {
@@ -95,6 +100,7 @@ func TestNormalizedCorrelateShiftEquivariance(t *testing.T) {
 }
 
 func TestNormalizedCorrelateUnderNoise(t *testing.T) {
+	t.Parallel()
 	r := rng.New(5)
 	ref := randomVec(r, 256)
 	Normalize(ref)
@@ -113,6 +119,7 @@ func TestNormalizedCorrelateUnderNoise(t *testing.T) {
 }
 
 func TestAutoCorrelateZeroLagIsEnergy(t *testing.T) {
+	t.Parallel()
 	r := rng.New(6)
 	x := randomVec(r, 100)
 	ac := AutoCorrelate(x, 10)
@@ -125,6 +132,7 @@ func TestAutoCorrelateZeroLagIsEnergy(t *testing.T) {
 }
 
 func TestFindPeaksSuppression(t *testing.T) {
+	t.Parallel()
 	metric := []float64{0, 1, 0, 0, 0.5, 0, 0, 0, 2, 0}
 	peaks := FindPeaks(metric, 0.4, 3)
 	if len(peaks) != 3 {
@@ -139,6 +147,7 @@ func TestFindPeaksSuppression(t *testing.T) {
 }
 
 func TestFindPeaksThreshold(t *testing.T) {
+	t.Parallel()
 	metric := []float64{0.1, 0.3, 0.1}
 	if got := FindPeaks(metric, 0.5, 1); len(got) != 0 {
 		t.Fatalf("sub-threshold peak returned: %+v", got)
@@ -146,6 +155,7 @@ func TestFindPeaksThreshold(t *testing.T) {
 }
 
 func TestParabolicInterp(t *testing.T) {
+	t.Parallel()
 	// samples of a parabola peaking at x = 1.3 around index 1
 	f := func(x float64) float64 { return 4 - (x-1.3)*(x-1.3) }
 	metric := []float64{f(0), f(1), f(2)}

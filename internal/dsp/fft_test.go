@@ -40,6 +40,7 @@ func randomVec(r *rng.Rand, n int) []complex128 {
 }
 
 func TestFFTMatchesNaive(t *testing.T) {
+	t.Parallel()
 	r := rng.New(1)
 	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 33, 64, 100, 128, 255, 256} {
 		x := randomVec(r, n)
@@ -54,6 +55,7 @@ func TestFFTMatchesNaive(t *testing.T) {
 }
 
 func TestFFTInverseRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := rng.New(2)
 	for _, n := range []int{1, 2, 8, 13, 64, 100, 1024, 1000} {
 		x := randomVec(r, n)
@@ -67,6 +69,7 @@ func TestFFTInverseRoundTrip(t *testing.T) {
 }
 
 func TestFFTRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	r := rng.New(3)
 	f := func(seed uint64, nRaw uint16) bool {
 		n := int(nRaw%512) + 1
@@ -86,6 +89,7 @@ func TestFFTRoundTripProperty(t *testing.T) {
 }
 
 func TestFFTLinearity(t *testing.T) {
+	t.Parallel()
 	r := rng.New(4)
 	x := randomVec(r, 128)
 	y := randomVec(r, 128)
@@ -102,6 +106,7 @@ func TestFFTLinearity(t *testing.T) {
 }
 
 func TestFFTParseval(t *testing.T) {
+	t.Parallel()
 	r := rng.New(5)
 	for _, n := range []int{64, 100, 333} {
 		x := randomVec(r, n)
@@ -113,6 +118,7 @@ func TestFFTParseval(t *testing.T) {
 }
 
 func TestFFTImpulse(t *testing.T) {
+	t.Parallel()
 	x := make([]complex128, 16)
 	x[0] = 1
 	fx := FFT(x)
@@ -124,6 +130,7 @@ func TestFFTImpulse(t *testing.T) {
 }
 
 func TestFFTToneBin(t *testing.T) {
+	t.Parallel()
 	// A pure tone at bin k must concentrate all energy in bin k.
 	const n = 64
 	for _, k := range []int{0, 1, 5, 31, 32, 63} {
@@ -145,6 +152,7 @@ func TestFFTToneBin(t *testing.T) {
 }
 
 func TestFFTShift(t *testing.T) {
+	t.Parallel()
 	x := []complex128{0, 1, 2, 3}
 	got := FFTShift(x)
 	want := []complex128{2, 3, 0, 1}
@@ -164,6 +172,7 @@ func TestFFTShift(t *testing.T) {
 }
 
 func TestBinFreqConversions(t *testing.T) {
+	t.Parallel()
 	const n, fs = 1024, 1e6
 	for _, f := range []float64{0, 1000, -1000, 250000, -250000, 499000} {
 		bin := FreqToBin(f, n, fs)
@@ -175,6 +184,7 @@ func TestBinFreqConversions(t *testing.T) {
 }
 
 func TestNextPow2(t *testing.T) {
+	t.Parallel()
 	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024, 1025: 2048}
 	for in, want := range cases {
 		if got := NextPow2(in); got != want {

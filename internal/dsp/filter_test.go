@@ -8,6 +8,7 @@ import (
 )
 
 func TestLowPassPassesAndStops(t *testing.T) {
+	t.Parallel()
 	const fs = 1e6
 	lp := LowPass(100e3, fs, 129)
 	pass := lp.ApplyComplex(Tone(4096, 20e3, 0, fs))
@@ -24,6 +25,7 @@ func TestLowPassPassesAndStops(t *testing.T) {
 }
 
 func TestLowPassUnitDCGain(t *testing.T) {
+	t.Parallel()
 	lp := LowPass(50e3, 1e6, 65)
 	var sum float64
 	for _, h := range lp.Taps {
@@ -35,6 +37,7 @@ func TestLowPassUnitDCGain(t *testing.T) {
 }
 
 func TestLowPassOddTaps(t *testing.T) {
+	t.Parallel()
 	lp := LowPass(10e3, 1e6, 10)
 	if len(lp.Taps)%2 == 0 {
 		t.Fatalf("tap count %d should be odd", len(lp.Taps))
@@ -42,6 +45,7 @@ func TestLowPassOddTaps(t *testing.T) {
 }
 
 func TestGaussianFilterProperties(t *testing.T) {
+	t.Parallel()
 	g := Gaussian(0.5, 8, 4)
 	if len(g.Taps) != 33 {
 		t.Fatalf("tap count %d", len(g.Taps))
@@ -74,6 +78,7 @@ func TestGaussianFilterProperties(t *testing.T) {
 }
 
 func TestGaussianNarrowerWithSmallerBT(t *testing.T) {
+	t.Parallel()
 	wide := Gaussian(0.5, 8, 4)
 	narrow := Gaussian(0.3, 8, 4)
 	// smaller BT → more smoothing → lower center tap
@@ -83,6 +88,7 @@ func TestGaussianNarrowerWithSmallerBT(t *testing.T) {
 }
 
 func TestApplySameLength(t *testing.T) {
+	t.Parallel()
 	lp := LowPass(100e3, 1e6, 31)
 	x := randomVec(rng.New(1), 777)
 	y := lp.ApplyComplex(x)
@@ -100,6 +106,7 @@ func TestApplySameLength(t *testing.T) {
 }
 
 func TestConvolveFFTMatchesDirect(t *testing.T) {
+	t.Parallel()
 	// Force both paths and compare.
 	r := rng.New(2)
 	x := randomVec(r, 3000)
@@ -133,6 +140,7 @@ func TestConvolveFFTMatchesDirect(t *testing.T) {
 }
 
 func TestDecimateInterpolateRoundTrip(t *testing.T) {
+	t.Parallel()
 	const fs = 1e6
 	x := Tone(8000, 20e3, 0, fs)
 	down := Decimate(x, 4, fs)
@@ -154,6 +162,7 @@ func TestDecimateInterpolateRoundTrip(t *testing.T) {
 }
 
 func TestDecimateRejectsAlias(t *testing.T) {
+	t.Parallel()
 	const fs = 1e6
 	// 400 kHz tone would alias to 150 kHz at fs/4; the anti-alias filter
 	// must suppress it.
@@ -165,6 +174,7 @@ func TestDecimateRejectsAlias(t *testing.T) {
 }
 
 func TestMovingAverage(t *testing.T) {
+	t.Parallel()
 	x := []float64{1, 1, 1, 1, 1}
 	ma := MovingAverage(x, 3)
 	for _, v := range ma {

@@ -9,6 +9,7 @@ import (
 )
 
 func TestPowerAndEnergy(t *testing.T) {
+	t.Parallel()
 	x := []complex128{1, complex(0, 2), complex(3, 4)}
 	if e := Energy(x); math.Abs(e-(1+4+25)) > eps {
 		t.Fatalf("energy %v", e)
@@ -22,6 +23,7 @@ func TestPowerAndEnergy(t *testing.T) {
 }
 
 func TestDBConversions(t *testing.T) {
+	t.Parallel()
 	for _, db := range []float64{-30, -10, 0, 3, 20} {
 		if got := DB(FromDB(db)); math.Abs(got-db) > 1e-9 {
 			t.Fatalf("db round trip %v -> %v", db, got)
@@ -30,6 +32,7 @@ func TestDBConversions(t *testing.T) {
 }
 
 func TestNormalizeUnitPower(t *testing.T) {
+	t.Parallel()
 	r := rng.New(1)
 	x := randomVec(r, 500)
 	Scale(x, 3.7)
@@ -48,6 +51,7 @@ func TestNormalizeUnitPower(t *testing.T) {
 }
 
 func TestAddSubOffsets(t *testing.T) {
+	t.Parallel()
 	dst := make([]complex128, 5)
 	Add(dst, []complex128{1, 2, 3}, 1)
 	want := []complex128{0, 1, 2, 3, 0}
@@ -81,6 +85,7 @@ func TestAddSubOffsets(t *testing.T) {
 }
 
 func TestMixShiftsSpectrum(t *testing.T) {
+	t.Parallel()
 	const n, fs = 4096, 1e6
 	x := Tone(n, 10000, 0, fs)
 	Mix(x, 50000, 0, fs)
@@ -91,6 +96,7 @@ func TestMixShiftsSpectrum(t *testing.T) {
 }
 
 func TestMixRotatorAccuracy(t *testing.T) {
+	t.Parallel()
 	// After many samples the recursive rotator must still match the direct
 	// computation closely (renormalization check).
 	const n, fs, freq = 100000, 1e6, 12345.0
@@ -109,6 +115,7 @@ func TestMixRotatorAccuracy(t *testing.T) {
 }
 
 func TestToneFrequency(t *testing.T) {
+	t.Parallel()
 	const fs = 500e3
 	x := Tone(2048, -42000, 0, fs)
 	if p := Power(x); math.Abs(p-1) > 1e-9 {
@@ -121,6 +128,7 @@ func TestToneFrequency(t *testing.T) {
 }
 
 func TestDelayAndPad(t *testing.T) {
+	t.Parallel()
 	x := []complex128{1, 2}
 	d := Delay(x, 3)
 	if len(d) != 5 || d[0] != 0 || d[3] != 1 || d[4] != 2 {
@@ -137,6 +145,7 @@ func TestDelayAndPad(t *testing.T) {
 }
 
 func TestFreqDiscriminator(t *testing.T) {
+	t.Parallel()
 	const fs = 1e6
 	for _, f := range []float64{25000, -60000} {
 		x := Tone(1000, f, 0.3, fs)
@@ -150,6 +159,7 @@ func TestFreqDiscriminator(t *testing.T) {
 }
 
 func TestMaxAbs(t *testing.T) {
+	t.Parallel()
 	x := []complex128{1, complex(0, -5), 2}
 	idx, mag := MaxAbs(x)
 	if idx != 1 || math.Abs(mag-5) > eps {
@@ -161,6 +171,7 @@ func TestMaxAbs(t *testing.T) {
 }
 
 func TestConjInvolution(t *testing.T) {
+	t.Parallel()
 	f := func(re, im float64) bool {
 		x := []complex128{complex(re, im)}
 		return Conj(Conj(x))[0] == x[0]
@@ -171,6 +182,7 @@ func TestConjInvolution(t *testing.T) {
 }
 
 func TestScaleComplexAndMul(t *testing.T) {
+	t.Parallel()
 	x := []complex128{1, complex(0, 1)}
 	ScaleComplex(x, complex(0, 2))
 	if x[0] != complex(0, 2) || x[1] != complex(-2, 0) {
@@ -183,6 +195,7 @@ func TestScaleComplexAndMul(t *testing.T) {
 }
 
 func TestPhaseRange(t *testing.T) {
+	t.Parallel()
 	x := []complex128{1, complex(0, 1), -1, complex(0, -1)}
 	ph := Phase(x)
 	want := []float64{0, math.Pi / 2, math.Pi, -math.Pi / 2}

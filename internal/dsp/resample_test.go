@@ -6,6 +6,7 @@ import (
 )
 
 func TestRationalRatio(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		ratio float64
 		l, m  int
@@ -35,6 +36,7 @@ func TestRationalRatio(t *testing.T) {
 }
 
 func TestResampleIdentity(t *testing.T) {
+	t.Parallel()
 	x := Tone(1000, 10e3, 0, 1e6)
 	y, err := Resample(x, 1e6, 1e6)
 	if err != nil {
@@ -48,6 +50,7 @@ func TestResampleIdentity(t *testing.T) {
 }
 
 func TestResampleDownPreservesTone(t *testing.T) {
+	t.Parallel()
 	const from, to = 1e6, 250e3
 	x := Tone(8000, 30e3, 0, from)
 	y, err := Resample(x, from, to)
@@ -69,6 +72,7 @@ func TestResampleDownPreservesTone(t *testing.T) {
 }
 
 func TestResampleUpPreservesTone(t *testing.T) {
+	t.Parallel()
 	const from, to = 1e6, 4e6
 	x := Tone(2000, 100e3, 0, from)
 	y, err := Resample(x, from, to)
@@ -88,6 +92,7 @@ func TestResampleUpPreservesTone(t *testing.T) {
 }
 
 func TestResampleRationalRTLRate(t *testing.T) {
+	t.Parallel()
 	// rtl_sdr's customary 2.048 MHz down to the gateway's 1 MHz: ratio
 	// 125/256.
 	const from, to = 2.048e6, 1e6
@@ -107,6 +112,7 @@ func TestResampleRationalRTLRate(t *testing.T) {
 }
 
 func TestResampleRejectsAliases(t *testing.T) {
+	t.Parallel()
 	// A 400 kHz tone cannot survive a 1 MHz -> 500 kHz conversion; the
 	// anti-alias filter must remove it rather than fold it to 100 kHz.
 	x := Tone(8000, 400e3, 0, 1e6)
@@ -120,6 +126,7 @@ func TestResampleRejectsAliases(t *testing.T) {
 }
 
 func TestResampleErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Resample([]complex128{1}, 0, 1e6); err == nil {
 		t.Fatal("zero rate accepted")
 	}

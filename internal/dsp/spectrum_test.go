@@ -9,6 +9,7 @@ import (
 )
 
 func TestWindowShapes(t *testing.T) {
+	t.Parallel()
 	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
 		c := w.Coefficients(65)
 		if len(c) != 65 {
@@ -35,6 +36,7 @@ func TestWindowShapes(t *testing.T) {
 }
 
 func TestHannEndpointsZero(t *testing.T) {
+	t.Parallel()
 	c := Hann.Coefficients(33)
 	if math.Abs(c[0]) > 1e-12 || math.Abs(c[32]) > 1e-12 {
 		t.Fatalf("hann endpoints %v %v", c[0], c[32])
@@ -42,6 +44,7 @@ func TestHannEndpointsZero(t *testing.T) {
 }
 
 func TestPeriodogramTone(t *testing.T) {
+	t.Parallel()
 	const n, fs = 1024, 1e6
 	x := Tone(n, 125e3, 0, fs)
 	p := Periodogram(x, Hann)
@@ -58,6 +61,7 @@ func TestPeriodogramTone(t *testing.T) {
 }
 
 func TestWelchLowerVariance(t *testing.T) {
+	t.Parallel()
 	r := rng.New(1)
 	x := make([]complex128, 8192)
 	for i := range x {
@@ -83,6 +87,7 @@ func TestWelchLowerVariance(t *testing.T) {
 }
 
 func TestGoertzelMatchesFFT(t *testing.T) {
+	t.Parallel()
 	r := rng.New(2)
 	const n, fs = 256, 1e6
 	x := randomVec(r, n)
@@ -97,6 +102,7 @@ func TestGoertzelMatchesFFT(t *testing.T) {
 }
 
 func TestDominantFrequencyInterpolated(t *testing.T) {
+	t.Parallel()
 	const n, fs = 2048, 1e6
 	// frequency between bins
 	target := 100e3 + fs/n/3
@@ -108,6 +114,7 @@ func TestDominantFrequencyInterpolated(t *testing.T) {
 }
 
 func TestEstimateCFO(t *testing.T) {
+	t.Parallel()
 	const fs = 1e6
 	for _, cfo := range []float64{1000, -7500, 30000} {
 		x := Tone(4000, cfo, 0.7, fs)
@@ -119,6 +126,7 @@ func TestEstimateCFO(t *testing.T) {
 }
 
 func TestEstimateSNR(t *testing.T) {
+	t.Parallel()
 	r := rng.New(3)
 	tmpl := randomVec(r, 2000)
 	Normalize(tmpl)
@@ -143,6 +151,7 @@ func TestEstimateSNR(t *testing.T) {
 }
 
 func TestNoiseFloorRobustToSpikes(t *testing.T) {
+	t.Parallel()
 	r := rng.New(4)
 	x := make([]complex128, 4096)
 	for i := range x {

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -44,9 +45,12 @@ type Table struct {
 	Notes  []string
 }
 
-// Render writes the table as aligned text.
-func (t Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+// Render writes the table as aligned text. The table is formatted into
+// memory first so the sink sees a single write and the first failure is
+// returned rather than silently dropped mid-table.
+func (t Table) Render(w io.Writer) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
@@ -67,7 +71,7 @@ func (t Table) Render(w io.Writer) {
 				parts[i] = c
 			}
 		}
-		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		fmt.Fprintln(&buf, "  "+strings.Join(parts, "  "))
 	}
 	line(t.Header)
 	sep := make([]string, len(t.Header))
@@ -79,9 +83,11 @@ func (t Table) Render(w io.Writer) {
 		line(row)
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
+		fmt.Fprintf(&buf, "  note: %s\n", n)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(&buf)
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // Runner is an experiment entry point.
@@ -106,6 +112,7 @@ var registry = map[string]Runner{
 // IDs returns the registered experiment ids, sorted.
 func IDs() []string {
 	out := make([]string, 0, len(registry))
+	//lint:ignore nondeterminism keys are sorted before returning
 	for id := range registry {
 		out = append(out, id)
 	}
@@ -123,8 +130,7 @@ func Run(id string, opt Options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	table.Render(w)
-	return nil
+	return table.Render(w)
 }
 
 // RunAll executes every experiment in id order.

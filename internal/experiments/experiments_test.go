@@ -76,6 +76,9 @@ func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep")
 	}
+	if raceEnabled {
+		t.Skip("sweep exceeds test timeouts under the race detector; components are raced individually")
+	}
 	var buf bytes.Buffer
 	if err := RunAll(quick, &buf); err != nil {
 		t.Fatal(err)

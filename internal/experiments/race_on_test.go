@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the full experiment sweep: the race detector's ~10-20x
+// slowdown pushes RunAll past any reasonable test timeout, and every
+// experiment it drives is already race-instrumented by its own test.
+const raceEnabled = true

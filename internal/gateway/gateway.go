@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/backhaul"
 	"repro/internal/cancel"
@@ -50,7 +51,9 @@ type Gateway struct {
 	stream    *detect.Stream
 	edge      *cancel.Decoder
 	maxPacket int
-	stats     Stats
+
+	mu    sync.Mutex // guards stats; Run's reader goroutine made Gateway shared
+	stats Stats
 }
 
 // New builds a gateway. The default detector is the universal-preamble
@@ -99,7 +102,11 @@ func New(cfg Config) (*Gateway, error) {
 func (g *Gateway) SampleRate() float64 { return g.cfg.Frontend.SampleRate() }
 
 // Stats returns a snapshot of the gateway's counters.
-func (g *Gateway) Stats() Stats { return g.stats }
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
 
 // Result is the outcome of processing one capture.
 type Result struct {
@@ -115,8 +122,10 @@ type Result struct {
 // packets they cover may continue into samples not yet received.
 func (g *Gateway) Process(antenna []complex128) Result {
 	rx := g.cfg.Frontend.Capture(antenna)
+	g.mu.Lock()
 	g.stats.CapturesProcessed++
 	g.stats.RawBytes += 2 * len(rx) // cu8 raw stream cost
+	g.mu.Unlock()
 	return g.handle(g.stream.Push(rx))
 }
 
@@ -129,8 +138,8 @@ func (g *Gateway) Flush() Result {
 // handle routes completed segments through edge decode or shipping.
 func (g *Gateway) handle(segments []detect.StreamSegment) Result {
 	fs := g.cfg.Frontend.SampleRate()
-	g.stats.Detections += len(segments)
 	var res Result
+	edgeFrames, resolved := 0, 0
 	for _, seg := range segments {
 		if g.cfg.EdgeDecode {
 			frames, _ := g.edge.Decode(seg.Samples)
@@ -139,8 +148,8 @@ func (g *Gateway) handle(segments []detect.StreamSegment) Result {
 					f.Offset += int(seg.Start)
 				}
 				res.EdgeFrames = append(res.EdgeFrames, frames...)
-				g.stats.EdgeFrames += len(frames)
-				g.stats.SegmentsResolved++
+				edgeFrames += len(frames)
+				resolved++
 				continue
 			}
 		}
@@ -150,7 +159,12 @@ func (g *Gateway) handle(segments []detect.StreamSegment) Result {
 			Samples:    seg.Samples,
 		})
 	}
+	g.mu.Lock()
+	g.stats.Detections += len(segments)
+	g.stats.EdgeFrames += edgeFrames
+	g.stats.SegmentsResolved += resolved
 	g.stats.SegmentsShipped += len(res.Shipped)
+	g.mu.Unlock()
 	return res
 }
 
@@ -213,7 +227,9 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 			if err != nil {
 				return err
 			}
+			g.mu.Lock()
 			g.stats.WireBytes += n
+			g.mu.Unlock()
 		}
 		return nil
 	}

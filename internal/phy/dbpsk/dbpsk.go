@@ -136,12 +136,13 @@ func (r *Radio) modulateBits(stream []byte, fs float64) ([]complex128, error) {
 	idx := 0
 	for _, b := range stream {
 		next := phase
-		if b != 0 {
+		flip := b != 0
+		if flip {
 			next = -phase
 		}
 		for i := 0; i < sps; i++ {
 			v := next
-			if i < ramp && next != phase {
+			if i < ramp && flip {
 				// linear crossfade from previous to new phase state
 				t := float64(i) / float64(ramp)
 				v = phase*(1-t) + next*t

@@ -167,6 +167,7 @@ func All() []Technology {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
 	out := make([]Technology, 0, len(registry))
+	//lint:ignore nondeterminism the collected values are sorted by name below
 	for _, t := range registry {
 		out = append(out, t)
 	}
