@@ -10,13 +10,18 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/galiot"
+	"repro/internal/backhaul"
 	"repro/internal/cancel"
 	"repro/internal/channel"
 	"repro/internal/detect"
 	"repro/internal/experiments"
+	"repro/internal/farm"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -231,5 +236,68 @@ func BenchmarkAblationFrontend(b *testing.B) {
 		if _, err := experiments.AblationFrontend(benchOpt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// buildFarmSegments renders a batch of 2-way collision segments for the
+// decode-farm benchmarks.
+func buildFarmSegments(b *testing.B, n int) []backhaul.Segment {
+	b.Helper()
+	techs := galiot.Technologies()
+	base := rng.New(9)
+	segs := make([]backhaul.Segment, 0, n)
+	var start int64
+	for i := 0; i < n; i++ {
+		gen := base.Split(uint64(i))
+		scen, err := sim.GenCollision([]sim.CollisionSpec{
+			{Tech: techs[i%len(techs)], SNRdB: 12, PayloadLen: 8},
+			{Tech: techs[(i+1)%len(techs)], SNRdB: 12, PayloadLen: 8, OffsetFrac: 0.1},
+		}, galiot.SampleRate, 3000, gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segs = append(segs, backhaul.Segment{Start: start, SampleRate: galiot.SampleRate, Samples: scen.Capture})
+		start += int64(len(scen.Capture))
+	}
+	return segs
+}
+
+// BenchmarkFarmThroughput compares serial segment decoding against the
+// decode farm on the same batch. On a multi-core host the 4-worker farm
+// clears a multiple of the serial rate (the acceptance bar is 2x with 4
+// workers); on one core the two are equivalent, since the farm adds
+// scheduling but no parallel silicon. segments/s is the headline metric.
+func BenchmarkFarmThroughput(b *testing.B) {
+	const batch = 8
+	segs := buildFarmSegments(b, batch)
+	b.Run("serial", func(b *testing.B) {
+		svc := galiot.NewCloud()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, seg := range segs {
+				svc.DecodeSegment(seg)
+			}
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "segments/s")
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("farm-%d", workers), func(b *testing.B) {
+			svc := galiot.NewCloud()
+			f := svc.StartFarm(galiot.FarmConfig{Workers: workers, QueueDepth: batch})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, seg := range segs {
+					wg.Add(1)
+					if err := f.Submit(context.Background(), seg, func(farm.Result) { wg.Done() }); err != nil {
+						b.Fatal(err)
+					}
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "segments/s")
+			svc.Close()
+		})
 	}
 }

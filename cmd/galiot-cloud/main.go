@@ -21,9 +21,11 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7373", "TCP address to accept gateway sessions on")
-		dsss   = flag.Bool("dsss", false, "also decode the O-QPSK DSSS technology")
-		quiet  = flag.Bool("quiet", false, "suppress per-segment logs")
+		listen  = flag.String("listen", ":7373", "TCP address to accept gateway sessions on")
+		dsss    = flag.Bool("dsss", false, "also decode the O-QPSK DSSS technology")
+		quiet   = flag.Bool("quiet", false, "suppress per-segment logs")
+		workers = flag.Int("workers", 4, "decode-farm worker count (0 decodes inline, one segment per session at a time)")
+		queue   = flag.Int("queue", 64, "decode-farm admission queue depth; beyond it v2 gateways get busy rejects")
 	)
 	flag.Parse()
 
@@ -34,6 +36,9 @@ func main() {
 	svc := galiot.NewCloud(techs...)
 	if !*quiet {
 		svc.Logf = log.Printf
+	}
+	if *workers > 0 {
+		svc.StartFarm(galiot.FarmConfig{Workers: *workers, QueueDepth: *queue})
 	}
 	srv := &galiot.CloudServer{Service: svc}
 	if err := srv.Listen(*listen); err != nil {
@@ -49,6 +54,11 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
-	frames, stats := svc.Totals()
+	svc.Close() // drain the decode farm after the sessions are done
+	frames, stats, fst := svc.Totals()
 	log.Printf("decoded %d frames total (stats %+v)", frames, stats)
+	if fst.Workers > 0 {
+		log.Printf("farm: %d admitted, %d completed, %d rejected, %d deadline-exceeded, queue wait p50=%d p99=%d samples",
+			fst.Admitted, fst.Completed, fst.Rejected, fst.DeadlineExceeded, fst.P50QueueWait, fst.P99QueueWait)
+	}
 }

@@ -31,6 +31,8 @@ func main() {
 		meanGap   = flag.Float64("gap", 0.05, "mean idle gap per transmitter (s); smaller = more collisions")
 		edge      = flag.Bool("edge", true, "resolve uncollided packets at the edge")
 		impaired  = flag.Bool("impaired", true, "use the RTL-SDR impairment model (vs ideal front-end)")
+		window    = flag.Int("window", 0, "max unacknowledged segments in flight on a v2 session (0 = default)")
+		protocol  = flag.Int("protocol", 0, "backhaul protocol version to offer (0 = latest; 1 = legacy request/reply)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,8 @@ func main() {
 		Techs:      techs,
 		Frontend:   fe,
 		EdgeDecode: *edge,
+		Window:     *window,
+		Protocol:   *protocol,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-gateway:", err)
@@ -99,4 +103,7 @@ func main() {
 		st.CapturesProcessed, st.Detections, st.SegmentsShipped, st.SegmentsResolved, st.EdgeFrames)
 	log.Printf("backhaul: %d wire bytes vs %d raw bytes (%.1f%% of raw); %d packets on air, %d decoded by cloud, %d at edge",
 		st.WireBytes, st.RawBytes, 100*float64(st.WireBytes)/float64(st.RawBytes), groundTruth, decoded, st.EdgeFrames)
+	if st.BusyRejects > 0 || st.BadReports > 0 {
+		log.Printf("backhaul: %d segments rejected busy by the cloud, %d unparseable replies", st.BusyRejects, st.BadReports)
+	}
 }

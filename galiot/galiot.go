@@ -25,6 +25,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/cloud"
 	"repro/internal/detect"
+	"repro/internal/farm"
 	"repro/internal/frontend"
 	"repro/internal/gateway"
 	"repro/internal/phy"
@@ -61,6 +62,13 @@ type (
 	Cloud = cloud.Service
 	// CloudServer is a TCP front for the Cloud service.
 	CloudServer = cloud.Server
+	// Farm is the cloud's concurrent decode farm (worker pool + admission
+	// control); attach one to a Cloud with its StartFarm method.
+	Farm = farm.Farm
+	// FarmConfig sizes a Farm.
+	FarmConfig = farm.Config
+	// FarmStats is a point-in-time snapshot of a Farm.
+	FarmStats = farm.Stats
 	// CollisionDecoder runs Algorithm 1 (SIC + kill filters).
 	CollisionDecoder = cancel.Decoder
 	// DecodeStats aggregates what a decode invocation did.

@@ -1,0 +1,75 @@
+package rules
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// GoLeak flags go statements in library code whose goroutine has no visible
+// join or handover: no sync.WaitGroup Done, no channel close, and no channel
+// send anywhere in its body. Such goroutines cannot be waited for, so
+// shutdown paths (Server.Close, Farm.Close) cannot prove they finished —
+// the decode farm's drain guarantee is exactly the property this rule
+// protects. A goroutine spawned through a plain call (go f()) hides its
+// body from the analysis and is flagged too: wrap it in a literal that
+// signals completion, or suppress with a justified //lint:ignore.
+var GoLeak = &analysis.Analyzer{
+	Name:  "goleak",
+	Doc:   "flags go statements with no join/handover signal (wg.Done, close, channel send) in library code",
+	Match: func(path string) bool { return strings.Contains(path, "internal/") },
+	Run:   runGoLeak,
+}
+
+func runGoLeak(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(gs.Pos(), "goroutine body is out of view: spawn a literal that signals completion (defer wg.Done() or defer close(done)) around the call")
+				return true
+			}
+			if !signalsCompletion(lit.Body) {
+				pass.Reportf(gs.Pos(), "goroutine has no join or handover: nothing can wait for it; add defer wg.Done(), defer close(done), or send its result on a channel")
+			}
+			return true
+		})
+	}
+}
+
+// signalsCompletion reports whether a goroutine body contains any
+// construct another goroutine can observe to learn it finished: a channel
+// close, a channel send, or a WaitGroup Done (including deferred forms).
+// The check is syntactic and generous — one signal anywhere in the body
+// counts — because the rule's job is to catch fire-and-forget goroutines,
+// not to prove the signal is reachable on every path.
+func signalsCompletion(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -7,6 +7,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ErrDrop,
 		FloatEq,
+		GoLeak,
 		HotLoopAlloc,
 		MutexByValue,
 		Nondeterminism,

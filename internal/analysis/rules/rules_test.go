@@ -24,6 +24,11 @@ func TestHotLoopAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata/src", rules.HotLoopAlloc, "hotalloc/internal/dsp")
 }
 
+func TestGoLeak(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, "testdata/src", rules.GoLeak, "goleak/internal/worker")
+}
+
 func TestErrDrop(t *testing.T) {
 	t.Parallel()
 	analysistest.Run(t, "testdata/src", rules.ErrDrop, "errdrop")

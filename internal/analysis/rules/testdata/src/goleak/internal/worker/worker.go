@@ -1,0 +1,60 @@
+// Package worker exercises the goleak rule: goroutines must carry a
+// visible join (WaitGroup Done) or handover (channel close or send).
+package worker
+
+import "sync"
+
+type Pool struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+// Start's workers are joined through the WaitGroup: blessed.
+func (p *Pool) Start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for range p.jobs {
+			}
+		}()
+	}
+}
+
+// Watch hands completion over by closing done: blessed.
+func Watch(stop chan struct{}) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	return done
+}
+
+// Compute hands its result over on a channel: blessed.
+func Compute() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+
+// Leak is fire-and-forget: nothing can ever wait for it.
+func Leak() {
+	go func() { // want "goleak: goroutine has no join or handover"
+		for range make(chan int) {
+		}
+	}()
+}
+
+// LeakCall hides the goroutine body behind a plain call.
+func LeakCall(f func()) {
+	go f() // want "goleak: goroutine body is out of view"
+}
+
+// Suppressed documents why the spawn is safe and silences the rule.
+func Suppressed(f func()) {
+	//lint:ignore goleak f is documented to return promptly on its own
+	go f()
+}

@@ -27,16 +27,41 @@ import (
 // MsgType identifies a protocol message.
 type MsgType uint8
 
-// Protocol message types.
+// Protocol message types. Types 1-4 are the v1 wire protocol; 5-7 were
+// added by protocol v2 (sequence-numbered segments with admission-control
+// rejects and an explicit hello acknowledgement carrying the negotiated
+// version).
 const (
-	MsgHello   MsgType = 1 // JSON Hello
-	MsgSegment MsgType = 2 // binary segment
-	MsgFrames  MsgType = 3 // JSON FramesReport
-	MsgBye     MsgType = 4 // empty payload, orderly shutdown
+	MsgHello      MsgType = 1 // JSON Hello
+	MsgSegment    MsgType = 2 // binary segment (v1, unsequenced)
+	MsgFrames     MsgType = 3 // JSON FramesReport
+	MsgBye        MsgType = 4 // empty payload, orderly shutdown
+	MsgBusy       MsgType = 5 // v2: [seq:8], segment rejected by admission control
+	MsgSegmentSeq MsgType = 6 // v2: [seq:8] + v1 segment payload
+	MsgHelloAck   MsgType = 7 // v2: JSON HelloAck, cloud -> gateway
 )
 
-// Version is the current protocol version.
-const Version = 1
+// Version is the current (newest) protocol version. MinVersion is the
+// oldest version the cloud still serves: v1 gateways get the original
+// synchronous ship/reply exchange, v2 gateways get sequence-numbered
+// segments, pipelining and busy rejects.
+const (
+	Version    = 2
+	MinVersion = 1
+)
+
+// Negotiate maps a gateway's hello version to the version the session will
+// speak: the highest version both sides support. Versions below MinVersion
+// or above Version are rejected outright — a gateway from the future may
+// frame messages this cloud cannot parse, so optimistic downgrade is not
+// attempted.
+func Negotiate(helloVersion int) (int, error) {
+	if helloVersion < MinVersion || helloVersion > Version {
+		return 0, fmt.Errorf("backhaul: protocol version %d unsupported (serving %d..%d)",
+			helloVersion, MinVersion, Version)
+	}
+	return helloVersion, nil
+}
 
 // MaxMessageSize bounds a single message payload (64 MiB) to keep a
 // corrupted length prefix from exhausting memory.
@@ -50,6 +75,19 @@ type Hello struct {
 	Techs      []string `json:"techs"`
 }
 
+// HelloAck is the cloud's v2 reply to a hello: it confirms the session and
+// carries the negotiated protocol version plus advisory capacity hints the
+// gateway may use to size its shipping window. It is only sent to gateways
+// that offered version >= 2 (v1 gateways do not expect a reply to hello).
+type HelloAck struct {
+	Version int `json:"version"`
+	// Window advises the gateway how many unacked segments the cloud is
+	// willing to buffer for this session (0 = no advice).
+	Window int `json:"window,omitempty"`
+	// Workers reports the decode parallelism behind the session (0 = serial).
+	Workers int `json:"workers,omitempty"`
+}
+
 // FrameReport describes one decoded frame, sent from the cloud back to the
 // gateway (and usable by applications).
 type FrameReport struct {
@@ -60,9 +98,12 @@ type FrameReport struct {
 	SNRdB   float64 `json:"snr_db,omitempty"`
 }
 
-// FramesReport carries the decode results for one segment.
+// FramesReport carries the decode results for one segment. Seq echoes the
+// segment's sequence number on v2 sessions so a pipelining gateway can
+// match reports to in-flight segments; v1 reports leave it zero.
 type FramesReport struct {
 	SegmentStart int64         `json:"segment_start"`
+	Seq          uint64        `json:"seq,omitempty"`
 	Frames       []FrameReport `json:"frames"`
 }
 
@@ -251,6 +292,67 @@ func (c *Conn) SendSegment(sc SegmentCodec, seg Segment) (wireBytes int, err err
 		return 0, err
 	}
 	return 5 + len(payload), nil
+}
+
+// SendSegmentSeq encodes and writes a v2 sequence-numbered segment.
+func (c *Conn) SendSegmentSeq(sc SegmentCodec, seq uint64, seg Segment) (wireBytes int, err error) {
+	payload, err := sc.Encode(seg)
+	if err != nil {
+		return 0, err
+	}
+	framed := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(framed, seq)
+	copy(framed[8:], payload)
+	if err := c.WriteMessage(MsgSegmentSeq, framed); err != nil {
+		return 0, err
+	}
+	return 5 + len(framed), nil
+}
+
+// DecodeSegmentSeq deserializes a v2 segment payload: an 8-byte sequence
+// number followed by the v1 segment encoding.
+func DecodeSegmentSeq(payload []byte) (uint64, Segment, error) {
+	if len(payload) < 8 {
+		return 0, Segment{}, fmt.Errorf("backhaul: sequenced segment payload too short")
+	}
+	seq := binary.BigEndian.Uint64(payload)
+	seg, err := DecodeSegment(payload[8:])
+	return seq, seg, err
+}
+
+// SendBusy tells the gateway the segment with the given sequence number
+// was rejected by admission control and will not be decoded.
+func (c *Conn) SendBusy(seq uint64) error {
+	var payload [8]byte
+	binary.BigEndian.PutUint64(payload[:], seq)
+	return c.WriteMessage(MsgBusy, payload[:])
+}
+
+// ParseBusy decodes a busy payload into the rejected sequence number.
+func ParseBusy(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("backhaul: busy payload is %d bytes, want 8", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), nil
+}
+
+// SendHelloAck writes the cloud's v2 session acknowledgement.
+func (c *Conn) SendHelloAck(a HelloAck) error {
+	data, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(MsgHelloAck, data)
+}
+
+// ParseHelloAck decodes a hello-ack payload.
+func ParseHelloAck(payload []byte) (HelloAck, error) {
+	var a HelloAck
+	err := json.Unmarshal(payload, &a)
+	if err == nil && (a.Version < MinVersion || a.Version > Version) {
+		return a, fmt.Errorf("backhaul: hello ack carries unsupported version %d", a.Version)
+	}
+	return a, err
 }
 
 // ParseHello decodes a hello payload.

@@ -186,6 +186,104 @@ func TestSegmentPayloadProperty(t *testing.T) {
 	}
 }
 
+func TestNegotiate(t *testing.T) {
+	for _, tc := range []struct {
+		hello, want int
+		ok          bool
+	}{
+		{0, 0, false},
+		{1, 1, true},
+		{2, 2, true},
+		{3, 0, false},
+		{99, 0, false},
+		{-1, 0, false},
+	} {
+		got, err := Negotiate(tc.hello)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("Negotiate(%d) = %d, %v; want %d, ok=%v", tc.hello, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestSegmentSeqRoundTrip(t *testing.T) {
+	gen := rng.New(3)
+	samples := make([]complex128, 2000)
+	for i := range samples {
+		samples[i] = complex(gen.NormFloat64()*0.3, gen.NormFloat64()*0.3)
+	}
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	n, err := c.SendSegmentSeq(DefaultCodec, 41, Segment{Start: 9000, SampleRate: 1e6, Samples: samples})
+	if err != nil || n <= 13 {
+		t.Fatalf("send: %d %v", n, err)
+	}
+	typ, payload, err := c.ReadMessage()
+	if err != nil || typ != MsgSegmentSeq {
+		t.Fatalf("%v %v", typ, err)
+	}
+	seq, seg, err := DecodeSegmentSeq(payload)
+	if err != nil || seq != 41 || seg.Start != 9000 || len(seg.Samples) != 2000 {
+		t.Fatalf("seq %d seg %+d/%d err %v", seq, seg.Start, len(seg.Samples), err)
+	}
+	if _, _, err := DecodeSegmentSeq([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short sequenced payload accepted")
+	}
+}
+
+func TestBusyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.SendBusy(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.ReadMessage()
+	if err != nil || typ != MsgBusy {
+		t.Fatalf("%v %v", typ, err)
+	}
+	seq, err := ParseBusy(payload)
+	if err != nil || seq != 1<<40 {
+		t.Fatalf("seq %d err %v", seq, err)
+	}
+	if _, err := ParseBusy([]byte{1}); err == nil {
+		t.Fatal("short busy payload accepted")
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.SendHelloAck(HelloAck{Version: 2, Window: 16, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.ReadMessage()
+	if err != nil || typ != MsgHelloAck {
+		t.Fatalf("%v %v", typ, err)
+	}
+	ack, err := ParseHelloAck(payload)
+	if err != nil || ack.Version != 2 || ack.Window != 16 || ack.Workers != 4 {
+		t.Fatalf("%+v %v", ack, err)
+	}
+	if _, err := ParseHelloAck([]byte(`{"version":77}`)); err == nil {
+		t.Fatal("out-of-range ack version accepted")
+	}
+}
+
+func TestFramesSeqSurvivesJSON(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.SendFrames(FramesReport{SegmentStart: 5, Seq: 12}); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFrames(payload)
+	if err != nil || got.Seq != 12 {
+		t.Fatalf("%+v %v", got, err)
+	}
+}
+
 func TestOverTCPLikePipe(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()

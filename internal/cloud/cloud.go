@@ -3,9 +3,18 @@
 // Algorithm-1 collision decoder (SIC wrapped around the kill filters) on
 // each, and returns the recovered frames. The same decoding engine is
 // exposed as a library (Service.DecodeSegment) and as a TCP server.
+//
+// Decoding scales across gateways through the decode farm (internal/farm):
+// when a farm is attached with StartFarm, every session feeds the shared
+// bounded queue and a fixed worker pool drains it, so one slow collision
+// decode no longer stalls its whole gateway session. Sessions speaking
+// backhaul protocol v2 pipeline sequence-numbered segments and receive
+// explicit MsgBusy rejects under overload; v1 sessions are served unchanged
+// (the farm applies backpressure by blocking their reads instead).
 package cloud
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +24,7 @@ import (
 
 	"repro/internal/backhaul"
 	"repro/internal/cancel"
+	"repro/internal/farm"
 	"repro/internal/phy"
 )
 
@@ -27,18 +37,64 @@ type Service struct {
 	mu      sync.Mutex
 	decoded int
 	stats   cancel.Stats
+	pool    *farm.DecoderPool
+	farm    *farm.Farm
 }
 
 // NewService returns a decoder service over the given technologies.
 func NewService(techs []phy.Technology) *Service {
-	return &Service{Techs: techs}
+	s := &Service{Techs: techs}
+	s.pool = &farm.DecoderPool{New: func(fs float64) *cancel.Decoder {
+		return cancel.NewDecoder(s.Techs, fs)
+	}}
+	return s
+}
+
+// StartFarm attaches a decode farm: ServeConn sessions stop decoding
+// inline and submit to the shared worker pool instead. cfg.Decode is
+// supplied by the service unless the caller overrides it (tests do, to
+// inject slow or failing decoders). Returns the farm; Close (or
+// farm.Close) drains it.
+func (s *Service) StartFarm(cfg farm.Config) *farm.Farm {
+	if cfg.Decode == nil {
+		cfg.Decode = s.decodeSegment
+	}
+	f := farm.New(cfg)
+	s.mu.Lock()
+	s.farm = f
+	s.mu.Unlock()
+	return f
+}
+
+// Farm returns the attached decode farm, or nil.
+func (s *Service) Farm() *farm.Farm {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.farm
+}
+
+// Close drains the attached farm, if any: intake stops, every admitted
+// segment finishes, then Close returns. Call after Server.Close.
+func (s *Service) Close() {
+	if f := s.Farm(); f != nil {
+		f.Close()
+	}
 }
 
 // DecodeSegment runs the collision decoder on one shipped segment and
-// returns a report with absolute offsets.
+// returns a report with absolute offsets. The decoder bank is drawn from a
+// pool keyed by sample rate, not rebuilt per segment.
 func (s *Service) DecodeSegment(seg backhaul.Segment) backhaul.FramesReport {
-	dec := cancel.NewDecoder(s.Techs, seg.SampleRate)
+	report, _, _ := s.decodeSegment(context.Background(), seg)
+	return report
+}
+
+// decodeSegment is the farm DecodeFunc: pooled decoder, totals accounting,
+// per-segment diagnostics.
+func (s *Service) decodeSegment(_ context.Context, seg backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error) {
+	dec := s.pool.Get(seg.SampleRate)
 	frames, stats := dec.Decode(seg.Samples)
+	s.pool.Put(dec)
 	report := backhaul.FramesReport{SegmentStart: seg.Start}
 	for _, f := range frames {
 		report.Frames = append(report.Frames, backhaul.FrameReport{
@@ -61,19 +117,58 @@ func (s *Service) DecodeSegment(seg backhaul.Segment) backhaul.FramesReport {
 		s.Logf("segment @%d: %d samples -> %d frames (stats %+v)",
 			seg.Start, len(seg.Samples), len(frames), stats)
 	}
-	return report
+	return report, stats, nil
 }
 
-// Totals returns the cumulative frame count and decoder statistics.
-func (s *Service) Totals() (int, cancel.Stats) {
+// Totals returns the cumulative frame count, decoder statistics, and a
+// snapshot of the decode farm (zero when no farm is attached).
+func (s *Service) Totals() (int, cancel.Stats, farm.Stats) {
+	var fs farm.Stats
+	if f := s.Farm(); f != nil {
+		fs = f.Snapshot()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.decoded, s.stats
+	return s.decoded, s.stats, fs
 }
 
-// ServeConn handles one gateway session over a byte stream: hello,
-// segments (each answered with a frames report), bye. It returns when the
-// gateway says bye or the stream errors.
+// session carries the per-connection state of one ServeConn call.
+type session struct {
+	svc     *Service
+	conn    *backhaul.Conn
+	version int
+	ctx     context.Context
+
+	seqr farm.Sequencer
+	wmu  sync.Mutex // guards writeErr (writes themselves serialize in seqr)
+	werr error
+}
+
+// setWriteErr records the first reply-write failure; the read loop
+// surfaces it.
+func (ss *session) setWriteErr(err error) {
+	if err == nil {
+		return
+	}
+	ss.wmu.Lock()
+	if ss.werr == nil {
+		ss.werr = err
+	}
+	ss.wmu.Unlock()
+}
+
+func (ss *session) writeErr() error {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	return ss.werr
+}
+
+// ServeConn handles one gateway session over a byte stream: hello (with
+// version negotiation), segments, bye. v1 gateways get one synchronous
+// frames report per segment; v2 gateways pipeline sequence-numbered
+// segments and get per-segment frames reports or busy rejects, always in
+// segment order. It returns when the gateway says bye or the stream
+// errors; on bye, every admitted segment has been answered first.
 func (s *Service) ServeConn(rw io.ReadWriter) error {
 	conn := backhaul.NewConn(rw)
 	typ, payload, err := conn.ReadMessage()
@@ -87,17 +182,35 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 	if err != nil {
 		return fmt.Errorf("cloud: bad hello: %w", err)
 	}
-	if hello.Version != backhaul.Version {
-		return fmt.Errorf("cloud: protocol version %d unsupported", hello.Version)
+	version, err := backhaul.Negotiate(hello.Version)
+	if err != nil {
+		return fmt.Errorf("cloud: %w", err)
+	}
+	f := s.Farm()
+	if version >= 2 {
+		ack := backhaul.HelloAck{Version: version}
+		if f != nil {
+			snap := f.Snapshot()
+			ack.Window = snap.QueueDepth
+			ack.Workers = snap.Workers
+		}
+		if err := conn.SendHelloAck(ack); err != nil {
+			return err
+		}
 	}
 	if s.Logf != nil {
-		s.Logf("session from %s (fs=%.0f, techs=%v)", hello.GatewayID, hello.SampleRate, hello.Techs)
+		s.Logf("session from %s (v%d, fs=%.0f, techs=%v)", hello.GatewayID, version, hello.SampleRate, hello.Techs)
 	}
+	// The session context cancels when ServeConn returns: queued jobs of a
+	// dead session are skipped by the farm instead of decoded into the void.
+	ctx, cancelSession := context.WithCancel(context.Background())
+	defer cancelSession()
+	ss := &session{svc: s, conn: conn, version: version, ctx: ctx}
 	for {
 		typ, payload, err := conn.ReadMessage()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
-				return nil
+				return ss.writeErr()
 			}
 			return err
 		}
@@ -107,15 +220,86 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 			if err != nil {
 				return fmt.Errorf("cloud: bad segment: %w", err)
 			}
-			report := s.DecodeSegment(seg)
-			if err := conn.SendFrames(report); err != nil {
+			if err := ss.handleSegment(f, 0, false, seg); err != nil {
+				return err
+			}
+		case backhaul.MsgSegmentSeq:
+			if version < 2 {
+				return fmt.Errorf("cloud: sequenced segment on a v%d session", version)
+			}
+			seq, seg, err := backhaul.DecodeSegmentSeq(payload)
+			if err != nil {
+				return fmt.Errorf("cloud: bad segment: %w", err)
+			}
+			if err := ss.handleSegment(f, seq, true, seg); err != nil {
 				return err
 			}
 		case backhaul.MsgBye:
+			// Drain before acknowledging: every admitted segment gets its
+			// reply, then the bye confirms an orderly end of session.
+			ss.seqr.Wait()
+			if err := ss.writeErr(); err != nil {
+				return err
+			}
 			return conn.SendBye()
 		default:
 			return fmt.Errorf("cloud: unexpected message type %d", typ)
 		}
+		if err := ss.writeErr(); err != nil {
+			return err
+		}
+	}
+}
+
+// handleSegment routes one segment: inline decode when no farm is
+// attached, otherwise farm admission with per-version overload behavior
+// (v1 blocks for backpressure, v2 rejects with MsgBusy).
+func (ss *session) handleSegment(f *farm.Farm, seq uint64, sequenced bool, seg backhaul.Segment) error {
+	if f == nil {
+		report, _, _ := ss.svc.decodeSegment(ss.ctx, seg)
+		report.Seq = seq
+		return ss.conn.SendFrames(report)
+	}
+	slot := ss.seqr.Reserve()
+	deliver := func(res farm.Result) {
+		ss.seqr.Deliver(slot, func() {
+			ss.reply(seq, sequenced, seg, res)
+		})
+	}
+	var err error
+	if sequenced {
+		err = f.TrySubmit(ss.ctx, seg, deliver)
+	} else {
+		err = f.Submit(ss.ctx, seg, deliver)
+	}
+	switch err {
+	case nil:
+		return nil
+	case farm.ErrBusy:
+		// Admission control said no: answer the slot with an explicit
+		// reject so the gateway can retire the segment from its window.
+		deliver(farm.Result{Err: err})
+		return nil
+	default:
+		// Farm closed mid-session: release the slot and end the session.
+		ss.seqr.Deliver(slot, func() {})
+		return fmt.Errorf("cloud: decode farm unavailable: %w", err)
+	}
+}
+
+// reply writes one segment's answer. Runs inside the sequencer, so replies
+// leave in segment order and never interleave.
+func (ss *session) reply(seq uint64, sequenced bool, seg backhaul.Segment, res farm.Result) {
+	switch {
+	case res.Err != nil && sequenced:
+		ss.setWriteErr(ss.conn.SendBusy(seq))
+	case res.Err != nil:
+		// v1 has no busy vocabulary: an empty report keeps the
+		// segment/report exchange balanced.
+		ss.setWriteErr(ss.conn.SendFrames(backhaul.FramesReport{SegmentStart: seg.Start}))
+	default:
+		res.Report.Seq = seq
+		ss.setWriteErr(ss.conn.SendFrames(res.Report))
 	}
 }
 
@@ -163,7 +347,9 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops the listener and waits for in-flight sessions.
+// Close stops the listener and waits for in-flight sessions; every segment
+// admitted by those sessions has been answered when it returns. It does
+// not drain the decode farm itself — call Service.Close after.
 func (s *Server) Close() error {
 	if s.ln == nil {
 		return nil

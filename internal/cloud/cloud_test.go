@@ -46,7 +46,7 @@ func TestDecodeSegment(t *testing.T) {
 	if f.Offset < 1_000_000+7990 || f.Offset > 1_000_000+8010 {
 		t.Fatalf("absolute offset %d", f.Offset)
 	}
-	if n, _ := svc.Totals(); n != 1 {
+	if n, _, _ := svc.Totals(); n != 1 {
 		t.Fatalf("totals %d", n)
 	}
 }
@@ -60,7 +60,8 @@ func TestServeConnProtocol(t *testing.T) {
 	go func() { errCh <- svc.ServeConn(b) }()
 
 	conn := backhaul.NewConn(a)
-	if err := conn.SendHello(backhaul.Hello{Version: backhaul.Version, GatewayID: "t", SampleRate: fs}); err != nil {
+	// A v1 hello: the legacy strict request/reply session, no hello ack.
+	if err := conn.SendHello(backhaul.Hello{Version: 1, GatewayID: "t", SampleRate: fs}); err != nil {
 		t.Fatal(err)
 	}
 	seg, payload := makeSegment(t, 2)
@@ -132,7 +133,7 @@ func TestTCPServer(t *testing.T) {
 	}
 	defer nc.Close()
 	conn := backhaul.NewConn(nc)
-	if err := conn.SendHello(backhaul.Hello{Version: backhaul.Version, GatewayID: "tcp", SampleRate: fs}); err != nil {
+	if err := conn.SendHello(backhaul.Hello{Version: 1, GatewayID: "tcp", SampleRate: fs}); err != nil {
 		t.Fatal(err)
 	}
 	seg, payload := makeSegment(t, 3)
@@ -160,7 +161,7 @@ func TestServeConnRejectsCorruptSegment(t *testing.T) {
 	errCh := make(chan error, 1)
 	go func() { errCh <- svc.ServeConn(b) }()
 	conn := backhaul.NewConn(a)
-	if err := conn.SendHello(backhaul.Hello{Version: backhaul.Version, GatewayID: "t", SampleRate: fs}); err != nil {
+	if err := conn.SendHello(backhaul.Hello{Version: 1, GatewayID: "t", SampleRate: fs}); err != nil {
 		t.Fatal(err)
 	}
 	// Garbage segment payload: too short to carry a header.
@@ -206,7 +207,7 @@ func TestTCPServerConcurrentGateways(t *testing.T) {
 			}
 			defer nc.Close()
 			conn := backhaul.NewConn(nc)
-			if err := conn.SendHello(backhaul.Hello{Version: backhaul.Version, GatewayID: "gw", SampleRate: fs}); err != nil {
+			if err := conn.SendHello(backhaul.Hello{Version: 1, GatewayID: "gw", SampleRate: fs}); err != nil {
 				errCh <- err
 				return
 			}
@@ -233,7 +234,7 @@ func TestTCPServerConcurrentGateways(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n, _ := svc.Totals(); n != gateways {
+	if n, _, _ := svc.Totals(); n != gateways {
 		t.Fatalf("decoded %d frames across %d gateways", n, gateways)
 	}
 }

@@ -103,6 +103,7 @@ var registry = map[string]Runner{
 	"cost":                Cost,
 	"edge-policy":         EdgePolicy,
 	"backhaul":            Backhaul,
+	"farm":                FarmRunner,
 	"battery":             Battery,
 	"ablation-frontend":   AblationFrontend,
 	"ablation-preamble":   AblationPreamble,

@@ -1,0 +1,282 @@
+// Package farm implements the cloud's concurrent decode farm: a bounded
+// job queue with admission control in front of a pool of collision-decode
+// workers. It is the piece that lets one cloud process absorb "several such
+// gateways" worth of shipped I/Q (paper Sec. 4) — instead of one blocking
+// decode per connection, every session feeds the shared queue and a fixed
+// worker pool drains it, so a slow collision decode on one session no
+// longer stalls the others.
+//
+// Design points (DESIGN.md §9):
+//
+//   - Admission control: the queue depth is a hard bound. TrySubmit rejects
+//     with ErrBusy when the queue is full (the session answers the gateway
+//     with an explicit MsgBusy instead of growing memory without bound);
+//     Submit blocks, which turns the bound into backpressure for protocol-v1
+//     sessions that have no busy vocabulary.
+//   - Deadlines/cancellation: every job carries a context.Context. A job
+//     whose context is already done when a worker picks it up is skipped
+//     (counted as DeadlineExceeded) — dead sessions do not waste decode
+//     cycles. The decode itself is not preemptible.
+//   - Out-of-order completion: workers finish in whatever order decodes
+//     take; the per-session Sequencer (sequencer.go) restores submission
+//     order on the reply path.
+//   - Graceful drain: Close stops intake, lets the workers finish every
+//     admitted job (each job's done callback runs exactly once), and only
+//     then returns. No admitted segment is ever dropped.
+//   - Sample-clock accounting: queue wait is measured in samples admitted
+//     while the job sat in the queue, not wall-clock time, so the numbers
+//     are meaningful under the repository's determinism rules and scale
+//     with offered load rather than host speed.
+package farm
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/backhaul"
+	"repro/internal/cancel"
+)
+
+// DecodeFunc decodes one shipped segment. Implementations must be safe for
+// concurrent use by multiple workers.
+type DecodeFunc func(ctx context.Context, seg backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error)
+
+// Config sizes a Farm.
+type Config struct {
+	// Workers is the number of decode goroutines (default 4).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-dispatched jobs
+	// (default 64). Beyond it, TrySubmit rejects and Submit blocks.
+	QueueDepth int
+	// Decode runs one segment. Required.
+	Decode DecodeFunc
+}
+
+// Sentinel errors returned by the admission path.
+var (
+	// ErrBusy means the queue is full; the caller should reject the
+	// segment explicitly (MsgBusy) rather than wait.
+	ErrBusy = errors.New("farm: queue full")
+	// ErrClosed means the farm is draining or closed; no new work is
+	// admitted.
+	ErrClosed = errors.New("farm: closed")
+)
+
+// Result is the outcome of one job, delivered to its done callback.
+type Result struct {
+	Report backhaul.FramesReport
+	Stats  cancel.Stats
+	// Err is non-nil when the job was skipped (context cancelled or
+	// deadline exceeded before a worker reached it) or the decode failed.
+	Err error
+}
+
+// job is one admitted segment waiting for a worker.
+type job struct {
+	ctx        context.Context
+	seg        backhaul.Segment
+	done       func(Result)
+	admitClock int64 // farm sample clock at admission
+}
+
+// waitWindow is how many recent queue waits the quantile estimator keeps.
+const waitWindow = 1024
+
+// Farm is the shared decode farm. Create with New, stop with Close.
+type Farm struct {
+	cfg Config
+
+	mu    sync.Mutex
+	work  *sync.Cond // signaled when a job is queued or the farm closes
+	space *sync.Cond // signaled when a queue slot frees up
+	queue []job
+	head  int
+	wg    sync.WaitGroup
+
+	closed   bool
+	clock    int64 // total samples admitted so far (the sample clock)
+	inFlight int
+	admitted uint64
+	done     uint64
+	rejected uint64
+	deadline uint64
+	waits    [waitWindow]int64 // ring of recent queue waits, in samples
+	waitN    int               // total waits recorded
+}
+
+// Stats is a point-in-time snapshot of the farm, exposed through
+// cloud.Service.Totals and the galiot-cloud shutdown log.
+type Stats struct {
+	Workers    int // configured worker count
+	QueueDepth int // configured admission bound
+
+	Queued   int // jobs admitted, not yet dispatched
+	InFlight int // jobs currently decoding
+
+	Admitted         uint64 // jobs accepted by admission control
+	Completed        uint64 // done callbacks run (decoded or skipped)
+	Rejected         uint64 // TrySubmit calls answered ErrBusy
+	DeadlineExceeded uint64 // jobs skipped because their context was done
+
+	// Queue-wait quantiles over the last waitWindow dispatches, measured
+	// on the sample clock: how many samples of newer work were admitted
+	// while the job waited. 0 when nothing has been dispatched yet.
+	P50QueueWait int64
+	P99QueueWait int64
+}
+
+// New builds the farm and starts its workers. cfg.Decode must be set.
+func New(cfg Config) *Farm {
+	if cfg.Decode == nil {
+		panic("farm: Config.Decode is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	f := &Farm{cfg: cfg}
+	f.work = sync.NewCond(&f.mu)
+	f.space = sync.NewCond(&f.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.run()
+		}()
+	}
+	return f
+}
+
+// TrySubmit admits seg without blocking. done runs exactly once, from a
+// worker goroutine, unless an error is returned (ErrBusy when the queue is
+// full, ErrClosed after Close). done must be safe to call from another
+// goroutine and should hand off quickly.
+func (f *Farm) TrySubmit(ctx context.Context, seg backhaul.Segment, done func(Result)) error {
+	return f.admit(ctx, seg, done, false)
+}
+
+// Submit admits seg, blocking while the queue is full. It returns ErrClosed
+// if the farm closes before a slot frees up. Blocking admission is the
+// backpressure path for protocol-v1 sessions, which cannot be told "busy".
+func (f *Farm) Submit(ctx context.Context, seg backhaul.Segment, done func(Result)) error {
+	return f.admit(ctx, seg, done, true)
+}
+
+func (f *Farm) admit(ctx context.Context, seg backhaul.Segment, done func(Result), wait bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return ErrClosed
+		}
+		if f.queued() < f.cfg.QueueDepth {
+			break
+		}
+		if !wait {
+			f.rejected++
+			return ErrBusy
+		}
+		f.space.Wait()
+	}
+	f.queue = append(f.queue, job{ctx: ctx, seg: seg, done: done, admitClock: f.clock})
+	f.clock += int64(len(seg.Samples))
+	f.admitted++
+	f.work.Signal()
+	return nil
+}
+
+// queued returns the waiting-job count; callers hold f.mu.
+func (f *Farm) queued() int { return len(f.queue) - f.head }
+
+// pop removes the oldest queued job; callers hold f.mu and have checked
+// queued() > 0.
+func (f *Farm) pop() job {
+	j := f.queue[f.head]
+	f.queue[f.head] = job{} // release references early
+	f.head++
+	if f.head == len(f.queue) {
+		f.queue = f.queue[:0]
+		f.head = 0
+	}
+	return j
+}
+
+// run is one worker loop: pop, decode (or skip a dead job), deliver.
+func (f *Farm) run() {
+	for {
+		f.mu.Lock()
+		for f.queued() == 0 && !f.closed {
+			f.work.Wait()
+		}
+		if f.queued() == 0 {
+			// closed and drained
+			f.mu.Unlock()
+			return
+		}
+		j := f.pop()
+		f.inFlight++
+		f.waits[f.waitN%waitWindow] = f.clock - j.admitClock
+		f.waitN++
+		f.mu.Unlock()
+		f.space.Signal()
+
+		var res Result
+		if err := j.ctx.Err(); err != nil {
+			res.Err = err
+			f.mu.Lock()
+			f.deadline++
+			f.mu.Unlock()
+		} else {
+			res.Report, res.Stats, res.Err = f.cfg.Decode(j.ctx, j.seg)
+		}
+		f.mu.Lock()
+		f.inFlight--
+		f.done++
+		f.mu.Unlock()
+		j.done(res)
+	}
+}
+
+// Close stops intake and drains: every job admitted before Close ran is
+// finished (its done callback runs) before Close returns. Safe to call
+// more than once.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.work.Broadcast()
+	f.space.Broadcast()
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Snapshot returns current counters and queue-wait quantiles.
+func (f *Farm) Snapshot() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := Stats{
+		Workers:          f.cfg.Workers,
+		QueueDepth:       f.cfg.QueueDepth,
+		Queued:           f.queued(),
+		InFlight:         f.inFlight,
+		Admitted:         f.admitted,
+		Completed:        f.done,
+		Rejected:         f.rejected,
+		DeadlineExceeded: f.deadline,
+	}
+	n := f.waitN
+	if n > waitWindow {
+		n = waitWindow
+	}
+	if n > 0 {
+		sorted := make([]int64, n)
+		copy(sorted, f.waits[:n])
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50QueueWait = sorted[n/2]
+		s.P99QueueWait = sorted[(n*99)/100]
+	}
+	return s
+}

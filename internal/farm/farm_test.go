@@ -1,0 +1,274 @@
+package farm
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/backhaul"
+	"repro/internal/cancel"
+	"repro/internal/phy"
+	"repro/internal/phy/xbee"
+)
+
+// echoDecode is a stub decode that reports the segment's start back, so
+// tests can match results to submissions without real DSP work.
+func echoDecode(ctx context.Context, seg backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error) {
+	return backhaul.FramesReport{SegmentStart: seg.Start}, cancel.Stats{SICRounds: 1}, nil
+}
+
+func seg(start int64, samples int) backhaul.Segment {
+	return backhaul.Segment{Start: start, SampleRate: 1e6, Samples: make([]complex128, samples)}
+}
+
+func TestSubmitRunsEveryJob(t *testing.T) {
+	f := New(Config{Workers: 3, QueueDepth: 4, Decode: echoDecode})
+	const jobs = 20
+	var mu sync.Mutex
+	got := make(map[int64]bool)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		if err := f.Submit(context.Background(), seg(int64(i), 10), func(r Result) {
+			defer wg.Done()
+			if r.Err != nil {
+				t.Errorf("job failed: %v", r.Err)
+			}
+			mu.Lock()
+			got[r.Report.SegmentStart] = true
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	f.Close()
+	if len(got) != jobs {
+		t.Fatalf("%d distinct results, want %d", len(got), jobs)
+	}
+	st := f.Snapshot()
+	if st.Admitted != jobs || st.Completed != jobs || st.Rejected != 0 || st.Queued != 0 || st.InFlight != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTrySubmitRejectsWhenFull(t *testing.T) {
+	gate := make(chan struct{})
+	dispatched := make(chan struct{}, 64)
+	blocked := func(ctx context.Context, s backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error) {
+		dispatched <- struct{}{}
+		<-gate
+		return backhaul.FramesReport{SegmentStart: s.Start}, cancel.Stats{}, nil
+	}
+	f := New(Config{Workers: 1, QueueDepth: 2, Decode: blocked})
+	var done sync.WaitGroup
+	submit := func() error {
+		done.Add(1)
+		err := f.TrySubmit(context.Background(), seg(0, 1), func(Result) { done.Done() })
+		if err != nil {
+			done.Done()
+		}
+		return err
+	}
+	// First job occupies the worker...
+	if err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	<-dispatched
+	// ...two more fill the queue...
+	if err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := submit(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the fourth must be rejected, not queued.
+	if err := submit(); err != ErrBusy {
+		t.Fatalf("4th submit: %v, want ErrBusy", err)
+	}
+	close(gate)
+	done.Wait()
+	f.Close()
+	st := f.Snapshot()
+	if st.Rejected != 1 || st.Admitted != 3 || st.Completed != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCloseDrainsWithoutLoss(t *testing.T) {
+	f := New(Config{Workers: 2, QueueDepth: 64, Decode: echoDecode})
+	const jobs = 32
+	var completed atomic.Int64
+	for i := 0; i < jobs; i++ {
+		if err := f.Submit(context.Background(), seg(int64(i), 100), func(r Result) {
+			completed.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close must finish every admitted job before returning.
+	f.Close()
+	if n := completed.Load(); n != jobs {
+		t.Fatalf("drain lost jobs: %d of %d completed", n, jobs)
+	}
+	if err := f.Submit(context.Background(), seg(0, 1), func(Result) {}); err != ErrClosed {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := f.TrySubmit(context.Background(), seg(0, 1), func(Result) {}); err != ErrClosed {
+		t.Fatalf("trysubmit after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCancelledJobSkipped(t *testing.T) {
+	ctx, cancel0 := context.WithCancel(context.Background())
+	cancel0() // dead before admission
+	f := New(Config{Workers: 1, QueueDepth: 4, Decode: echoDecode})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var res Result
+	if err := f.Submit(ctx, seg(7, 10), func(r Result) { res = r; wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	f.Close()
+	if res.Err == nil {
+		t.Fatal("cancelled job decoded anyway")
+	}
+	if st := f.Snapshot(); st.DeadlineExceeded != 1 || st.Completed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueWaitSampleClock(t *testing.T) {
+	gate := make(chan struct{})
+	dispatched := make(chan struct{}, 8)
+	blocked := func(ctx context.Context, s backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error) {
+		dispatched <- struct{}{}
+		<-gate
+		return backhaul.FramesReport{}, cancel.Stats{}, nil
+	}
+	f := New(Config{Workers: 1, QueueDepth: 8, Decode: blocked})
+	var wg sync.WaitGroup
+	submit := func(n int) {
+		wg.Add(1)
+		if err := f.Submit(context.Background(), seg(0, n), func(Result) { wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit(0) // 0-sample gate job occupies the worker without advancing the clock
+	<-dispatched
+	// Admitted while the worker is pinned: clock advances 100+200+300.
+	submit(100)
+	submit(200)
+	submit(300)
+	close(gate)
+	wg.Wait()
+	f.Close()
+	// Waits on the sample clock: 600-0, 600-100, 600-300 (plus the gate
+	// job's 0) -> sorted [0, 300, 500, 600].
+	st := f.Snapshot()
+	if st.P50QueueWait != 500 || st.P99QueueWait != 600 {
+		t.Fatalf("queue-wait quantiles %+v", st)
+	}
+}
+
+func TestConcurrentSubmittersRace(t *testing.T) {
+	f := New(Config{Workers: 4, QueueDepth: 8, Decode: echoDecode})
+	const (
+		submitters = 6
+		each       = 25
+	)
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				err := f.Submit(context.Background(), seg(int64(g*1000+i), 50), func(Result) {
+					completed.Add(1)
+				})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	f.Close()
+	if n := completed.Load(); n != submitters*each {
+		t.Fatalf("completed %d of %d", n, submitters*each)
+	}
+}
+
+func TestSequencerOrdersOutOfOrderCompletions(t *testing.T) {
+	var s Sequencer
+	slots := make([]uint64, 5)
+	for i := range slots {
+		slots[i] = s.Reserve()
+	}
+	var order []uint64
+	record := func(slot uint64) func() {
+		return func() { order = append(order, slot) }
+	}
+	// Deliver out of order: 2, 4, 1, 0, 3.
+	s.Deliver(slots[2], record(2))
+	s.Deliver(slots[4], record(4))
+	s.Deliver(slots[1], record(1))
+	s.Deliver(slots[0], record(0)) // releases 0, 1, 2
+	s.Deliver(slots[3], record(3)) // releases 3, 4
+	s.Wait()
+	for i, slot := range order {
+		if slot != uint64(i) {
+			t.Fatalf("reply order %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d callbacks", len(order))
+	}
+}
+
+func TestSequencerWaitBlocksUntilDelivered(t *testing.T) {
+	var s Sequencer
+	slot := s.Reserve()
+	released := make(chan struct{})
+	go func() {
+		s.Wait()
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("Wait returned with a slot outstanding")
+	default:
+	}
+	s.Deliver(slot, func() {})
+	<-released
+}
+
+func TestDecoderPoolReuses(t *testing.T) {
+	builds := 0
+	p := &DecoderPool{New: func(fs float64) *cancel.Decoder {
+		builds++
+		return cancel.NewDecoder([]phy.Technology{xbee.Default()}, fs)
+	}}
+	a := p.Get(1e6)
+	if a == nil || builds != 1 {
+		t.Fatalf("first get built %d decoders", builds)
+	}
+	p.Put(a)
+	b := p.Get(1e6)
+	if b != a {
+		t.Fatal("pooled decoder not reused")
+	}
+	// A different sample rate must not share the pool: its templates and
+	// kill filters are built for another rate.
+	c := p.Get(250e3)
+	if c == a || c.FS != 250e3 || builds != 2 {
+		t.Fatalf("cross-rate pooling: builds=%d fs=%v", builds, c.FS)
+	}
+	// Putting an unknown decoder back is a no-op, not a panic.
+	p.Put(nil)
+	p.Put(&cancel.Decoder{FS: 42})
+}

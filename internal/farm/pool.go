@@ -1,0 +1,52 @@
+package farm
+
+import (
+	"sync"
+
+	"repro/internal/cancel"
+)
+
+// DecoderPool reuses collision decoders across segments instead of
+// rebuilding the cancel.NewDecoder bank per segment (the per-segment
+// reconstruction the serial cloud paid on every decode). Decoders are
+// pooled per sample rate, because a decoder's correlation templates and
+// kill filters are built for one rate; segments from gateways at different
+// rates draw from different pools.
+type DecoderPool struct {
+	// New constructs a decoder for a sample rate on pool miss. Required.
+	New func(fs float64) *cancel.Decoder
+
+	mu    sync.Mutex
+	pools map[float64]*sync.Pool
+}
+
+// Get returns a decoder for fs, from the pool or freshly built.
+func (p *DecoderPool) Get(fs float64) *cancel.Decoder {
+	p.mu.Lock()
+	if p.pools == nil {
+		p.pools = make(map[float64]*sync.Pool)
+	}
+	sp := p.pools[fs]
+	if sp == nil {
+		sp = &sync.Pool{}
+		p.pools[fs] = sp
+	}
+	p.mu.Unlock()
+	if d, ok := sp.Get().(*cancel.Decoder); ok {
+		return d
+	}
+	return p.New(fs)
+}
+
+// Put returns a decoder obtained from Get for reuse.
+func (p *DecoderPool) Put(d *cancel.Decoder) {
+	if d == nil {
+		return
+	}
+	p.mu.Lock()
+	sp := p.pools[d.FS]
+	p.mu.Unlock()
+	if sp != nil {
+		sp.Put(d)
+	}
+}

@@ -1,0 +1,68 @@
+package farm
+
+import "sync"
+
+// Sequencer restores submission order on a completion stream: callers
+// Reserve a slot per submitted job, workers Deliver each slot's completion
+// whenever it finishes, and the sequencer runs the callbacks strictly in
+// slot order, one at a time. A cloud session uses one Sequencer per
+// connection so decode replies leave in the order the segments arrived even
+// though the farm completes them out of order.
+//
+// Callbacks run with the sequencer's lock held: they are serialized with
+// each other (safe to write to a shared connection) but must not call
+// Reserve, Deliver or Wait, and should only hand the result off.
+type Sequencer struct {
+	mu       sync.Mutex
+	idle     sync.Cond // signaled whenever next advances
+	next     uint64
+	reserved uint64
+	pending  map[uint64]func()
+}
+
+// Reserve claims the next slot. The caller must eventually Deliver it, or
+// every later slot (and Wait) will stall.
+func (s *Sequencer) Reserve() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot := s.reserved
+	s.reserved++
+	return slot
+}
+
+// Deliver hands in slot's completion. If every earlier slot has already
+// run, fn runs now (along with any directly following pending slots);
+// otherwise it is parked until its turn. Each slot must be delivered
+// exactly once.
+func (s *Sequencer) Deliver(slot uint64, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		s.pending = make(map[uint64]func())
+	}
+	s.pending[slot] = fn
+	for {
+		next, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		s.next++
+		next()
+		s.idle.Broadcast() // Broadcast never touches idle.L; Wait sets it
+	}
+}
+
+// Wait blocks until every reserved slot has been delivered and run. It is
+// the session's pre-bye barrier: after Wait returns, all replies for
+// admitted segments have been written.
+func (s *Sequencer) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idle.L == nil {
+		s.idle.L = &s.mu
+	}
+	for s.next < s.reserved {
+		s.idle.Wait()
+	}
+}

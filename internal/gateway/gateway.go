@@ -20,6 +20,10 @@ import (
 	"repro/internal/phy"
 )
 
+// DefaultWindow is how many shipped segments Run keeps in flight
+// unacknowledged on a v2 session before blocking.
+const DefaultWindow = 8
+
 // Config assembles a gateway.
 type Config struct {
 	ID         string           // gateway identifier for the hello handshake
@@ -28,6 +32,13 @@ type Config struct {
 	Detector   detect.Detector // nil: universal-preamble detector at threshold 0.08
 	EdgeDecode bool            // try single-technology decode locally first
 	Codec      backhaul.SegmentCodec
+	// Protocol pins the backhaul version Run offers in its hello
+	// (default: backhaul.Version). Set 1 to speak the legacy strict
+	// request/reply protocol.
+	Protocol int
+	// Window bounds the unacknowledged segments Run pipelines on a v2
+	// session (default DefaultWindow). The cloud's hello ack may shrink it.
+	Window int
 }
 
 // Stats counts what a gateway did.
@@ -37,6 +48,8 @@ type Stats struct {
 	SegmentsShipped   int
 	SegmentsResolved  int // resolved at the edge, not shipped
 	EdgeFrames        int
+	BadReports        int // cloud replies the gateway could not parse
+	BusyRejects       int // segments the cloud rejected with a busy message
 	WireBytes         int // backhaul bytes actually sent
 	RawBytes          int // what streaming every capture raw (cu8) would have cost
 }
@@ -172,38 +185,85 @@ func (g *Gateway) handle(segments []detect.StreamSegment) Result {
 // structure after the edge decode, meaning more transmissions may be
 // hiding; such segments go to the cloud despite the local success.
 func (g *Gateway) likelyCollision(samples []complex128, decoded *phy.Frame) bool {
-	// More than one technology's preamble above threshold indicates a
-	// cross-technology collision the edge (single-pass, no kill filters)
-	// should not trust itself with.
-	found := 0
+	// The decoded frame's own preamble is expected to correlate; any other
+	// technology above threshold indicates a cross-technology collision the
+	// edge (single-pass, no kill filters) should not trust itself with.
 	for _, cand := range g.edge.Classify(samples) {
+		if cand.Tech.Name() == decoded.Tech {
+			continue
+		}
 		if cand.Score > 0.15 {
-			found++
+			return true
 		}
 	}
-	return found > 1
+	return false
 }
 
-// Run drives a session over a backhaul connection: hello, then one segment
-// message per shipped segment from each capture delivered on captures,
-// then bye. Decode reports arriving from the cloud are delivered to the
-// reports callback (may be nil).
+// countBadReport records a cloud reply the gateway could not parse, so
+// malformed traffic shows up in Stats instead of being silently discarded.
+func (g *Gateway) countBadReport() {
+	g.mu.Lock()
+	g.stats.BadReports++
+	g.mu.Unlock()
+}
+
+// Run drives a session over a backhaul connection: hello (with version
+// negotiation), then the shipped segments of each capture delivered on
+// captures, then bye. On a v2 session shipping is pipelined: up to
+// Config.Window sequence-numbered segments stay in flight unacknowledged,
+// and each cloud reply — a frames report or an explicit busy reject —
+// frees a window slot. Decode reports arriving from the cloud are
+// delivered to the reports callback (may be nil).
 func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports func(backhaul.FramesReport)) error {
 	conn := backhaul.NewConn(rw)
+	version := g.cfg.Protocol
+	if version == 0 {
+		version = backhaul.Version
+	}
 	techs := make([]string, 0, len(g.cfg.Techs))
 	for _, t := range g.cfg.Techs {
 		techs = append(techs, t.Name())
 	}
 	if err := conn.SendHello(backhaul.Hello{
-		Version:    backhaul.Version,
+		Version:    version,
 		GatewayID:  g.cfg.ID,
 		SampleRate: g.cfg.Frontend.SampleRate(),
 		Techs:      techs,
 	}); err != nil {
 		return err
 	}
-	// Reader side: collect decode reports until EOF.
+	window := g.cfg.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if version >= 2 {
+		// The hello ack closes negotiation; the cloud may shrink the window
+		// to what its admission queue is willing to hold.
+		typ, payload, err := conn.ReadMessage()
+		if err != nil {
+			return err
+		}
+		if typ != backhaul.MsgHelloAck {
+			return fmt.Errorf("gateway: expected hello ack, got message type %d", typ)
+		}
+		ack, err := backhaul.ParseHelloAck(payload)
+		if err != nil {
+			return fmt.Errorf("gateway: bad hello ack: %w", err)
+		}
+		if ack.Window > 0 && ack.Window < window {
+			window = ack.Window
+		}
+	}
+	// Reader side: collect decode reports and busy rejects until the bye
+	// ack. On v2 sessions every reply returns one window token.
 	done := make(chan struct{})
+	tokens := make(chan struct{}, window)
+	release := func() {
+		select {
+		case <-tokens:
+		default: // spurious reply with nothing in flight
+		}
+	}
 	go func() {
 		defer close(done)
 		for {
@@ -211,19 +271,46 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 			if err != nil {
 				return
 			}
-			if typ == backhaul.MsgFrames && reports != nil {
-				if r, err := backhaul.ParseFrames(payload); err == nil {
+			switch typ {
+			case backhaul.MsgFrames:
+				if r, err := backhaul.ParseFrames(payload); err != nil {
+					g.countBadReport()
+				} else if reports != nil {
 					reports(r)
 				}
-			}
-			if typ == backhaul.MsgBye {
+				release()
+			case backhaul.MsgBusy:
+				if _, err := backhaul.ParseBusy(payload); err != nil {
+					g.countBadReport()
+				} else {
+					g.mu.Lock()
+					g.stats.BusyRejects++
+					g.mu.Unlock()
+				}
+				release()
+			case backhaul.MsgBye:
 				return
+			default:
+				g.countBadReport()
 			}
 		}
 	}()
+	var seq uint64
 	ship := func(res Result) error {
 		for _, seg := range res.Shipped {
-			n, err := conn.SendSegment(g.cfg.Codec, seg)
+			var n int
+			var err error
+			if version >= 2 {
+				select {
+				case tokens <- struct{}{}: // claim a window slot
+				case <-done:
+					return errors.New("gateway: connection closed while shipping")
+				}
+				n, err = conn.SendSegmentSeq(g.cfg.Codec, seq, seg)
+				seq++
+			} else {
+				n, err = conn.SendSegment(g.cfg.Codec, seg)
+			}
 			if err != nil {
 				return err
 			}
