@@ -10,11 +10,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/galiot"
 )
@@ -26,6 +28,7 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-segment logs")
 		workers = flag.Int("workers", 4, "decode-farm worker count (0 decodes inline, one segment per session at a time)")
 		queue   = flag.Int("queue", 64, "decode-farm admission queue depth; beyond it v2 gateways get busy rejects")
+		obsAddr = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -36,6 +39,23 @@ func main() {
 	svc := galiot.NewCloud(techs...)
 	if !*quiet {
 		svc.Logf = log.Printf
+	}
+	reg := galiot.NewObsRegistry()
+	tracer := galiot.NewObsTracer(0)
+	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
+	svc.UseObs(reg, tracer)
+	if *obsAddr != "" {
+		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
+		if err := obsSrv.Start(*obsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-cloud: obs server:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := obsSrv.Close(); err != nil {
+				log.Printf("obs server close: %v", err)
+			}
+		}()
+		log.Printf("observability endpoints on http://%s/metrics", obsSrv.Addr())
 	}
 	if *workers > 0 {
 		svc.StartFarm(galiot.FarmConfig{Workers: *workers, QueueDepth: *queue})
@@ -60,5 +80,8 @@ func main() {
 	if fst.Workers > 0 {
 		log.Printf("farm: %d admitted, %d completed, %d rejected, %d deadline-exceeded, queue wait p50=%d p99=%d samples",
 			fst.Admitted, fst.Completed, fst.Rejected, fst.DeadlineExceeded, fst.P50QueueWait, fst.P99QueueWait)
+	}
+	if data, err := json.Marshal(reg.Snapshot()); err == nil {
+		log.Printf("metrics: %s", data)
 	}
 }

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"time"
 
 	"repro/galiot"
 	"repro/internal/rng"
@@ -33,8 +35,26 @@ func main() {
 		impaired  = flag.Bool("impaired", true, "use the RTL-SDR impairment model (vs ideal front-end)")
 		window    = flag.Int("window", 0, "max unacknowledged segments in flight on a v2 session (0 = default)")
 		protocol  = flag.Int("protocol", 0, "backhaul protocol version to offer (0 = latest; 1 = legacy request/reply)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	reg := galiot.NewObsRegistry()
+	tracer := galiot.NewObsTracer(0)
+	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
+	if *obsAddr != "" {
+		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
+		if err := obsSrv.Start(*obsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-gateway: obs server:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := obsSrv.Close(); err != nil {
+				log.Printf("obs server close: %v", err)
+			}
+		}()
+		log.Printf("observability endpoints on http://%s/metrics", obsSrv.Addr())
+	}
 
 	techs := galiot.Technologies()
 	fe := galiot.IdealFrontend()
@@ -48,6 +68,8 @@ func main() {
 		EdgeDecode: *edge,
 		Window:     *window,
 		Protocol:   *protocol,
+		Obs:        reg,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-gateway:", err)
@@ -105,5 +127,8 @@ func main() {
 		st.WireBytes, st.RawBytes, 100*float64(st.WireBytes)/float64(st.RawBytes), groundTruth, decoded, st.EdgeFrames)
 	if st.BusyRejects > 0 || st.BadReports > 0 {
 		log.Printf("backhaul: %d segments rejected busy by the cloud, %d unparseable replies", st.BusyRejects, st.BadReports)
+	}
+	if data, err := json.Marshal(gw.Registry().Snapshot()); err == nil {
+		log.Printf("metrics: %s", data)
 	}
 }

@@ -4,13 +4,28 @@
 // segments over an in-process TCP connection to the cloud decoder; decoded
 // frames stream back to the gateway.
 //
+// Gateway and cloud share one metrics registry and one tracer, so a single
+// snapshot covers the whole pipeline and /trace/recent shows each segment's
+// detect → ship → decode journey end to end.
+//
 //	go run ./examples/gateway-cloud
+//	go run ./examples/gateway-cloud -obs-addr 127.0.0.1:8077
+//
+// With -obs-addr the process keeps serving the introspection endpoints
+// after the pipeline finishes until interrupted, so the metrics can be
+// curled.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/galiot"
 	"repro/internal/rng"
@@ -18,10 +33,30 @@ import (
 )
 
 func main() {
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
+	flag.Parse()
+
 	techs := galiot.Technologies()
 
-	// Cloud side: TCP server on a loopback port.
+	// One registry + tracer for both halves of the pipeline.
+	reg := galiot.NewObsRegistry()
+	tracer := galiot.NewObsTracer(0)
+	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
+	if *obsAddr != "" {
+		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
+		if err := obsSrv.Start(*obsAddr); err != nil {
+			log.Fatal(err)
+		}
+		defer obsSrv.Close()
+		fmt.Printf("observability endpoints on http://%s/metrics\n", obsSrv.Addr())
+	}
+
+	// Cloud side: TCP server on a loopback port, decoding through the farm
+	// so the queue-wait histogram fills in.
 	svc := galiot.NewCloud(techs...)
+	svc.UseObs(reg, tracer)
+	svc.StartFarm(galiot.FarmConfig{Workers: 2})
+	defer svc.Close()
 	srv := &galiot.CloudServer{Service: svc}
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		log.Fatal(err)
@@ -35,6 +70,8 @@ func main() {
 		Techs:      techs,
 		Frontend:   galiot.IdealFrontend(),
 		EdgeDecode: true,
+		Obs:        reg,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -86,5 +123,16 @@ func main() {
 		st.WireBytes, st.RawBytes, 100*float64(st.WireBytes)/float64(st.RawBytes))
 	if decoded+st.EdgeFrames == 0 {
 		log.Fatal("pipeline decoded nothing")
+	}
+
+	if data, err := json.Marshal(reg.Snapshot()); err == nil {
+		fmt.Printf("metrics: %s\n", data)
+	}
+
+	if *obsAddr != "" {
+		fmt.Println("pipeline done; serving observability endpoints until interrupted")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }

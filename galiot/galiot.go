@@ -28,6 +28,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/frontend"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/phy/dbpsk"
 	"repro/internal/phy/lora"
@@ -79,6 +80,16 @@ type (
 	FrameReport = backhaul.FrameReport
 	// FramesReport carries decode results for one segment.
 	FramesReport = backhaul.FramesReport
+	// ObsRegistry is the metrics registry shared by gateway, farm and cloud;
+	// pass one in GatewayConfig.Obs / Cloud.UseObs to aggregate the pipeline
+	// onto a single snapshot.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time JSON-marshalable copy of a registry.
+	ObsSnapshot = obs.Snapshot
+	// ObsTracer records per-segment spans (detect → ship → decode stages).
+	ObsTracer = obs.Tracer
+	// ObsServer exposes /metrics, /trace/recent and pprof over HTTP.
+	ObsServer = obs.Server
 )
 
 // SampleRate is the paper's gateway sample rate: the RTL-SDR configured
@@ -162,6 +173,15 @@ func NewCollisionDecoder(techs []Technology) *CollisionDecoder {
 func NewSICBaseline(techs []Technology) *CollisionDecoder {
 	return cancel.NewSIC(techs, SampleRate)
 }
+
+// NewObsRegistry builds an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsTracer builds a segment tracer keeping the most recent ringSize
+// spans (0 = default). Callers running in real time should SetClock it to a
+// wall-clock nanosecond source; the default clock is a deterministic step
+// counter suited to simulations and tests.
+func NewObsTracer(ringSize int) *ObsTracer { return obs.NewTracer(ringSize) }
 
 // DefaultFrontend returns the paper's prototype front-end model: 1 MHz,
 // 8-bit quantization, DC offset, IQ imbalance, 500 Hz tuner error.

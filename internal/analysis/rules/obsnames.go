@@ -1,0 +1,80 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/obs"
+)
+
+// ObsNames enforces the metric naming scheme on obs.Registry registrations:
+// every string-literal name passed to Registry.Counter/Gauge/Histogram must
+// be subsystem_name_unit — lowercase snake_case, at least three segments,
+// the final segment a unit from obs.MetricUnits. Names built at runtime
+// are outside a linter's reach; the registry itself panics on those.
+var ObsNames = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc:  "enforces the subsystem_name_unit metric naming scheme on obs.Registry registrations",
+	Run:  runObsNames,
+}
+
+// registryMethods are the Registry getters whose first argument is a
+// metric name.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+func runObsNames(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isObsRegistry(pass.Info.TypeOf(sel.X)) {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true // dynamic name: checked at runtime by the registry
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !obs.ValidMetricName(name) {
+				pass.Reportf(lit.Pos(),
+					"metric name %q does not follow subsystem_name_unit: lowercase snake_case, >= 3 segments, unit one of %s",
+					name, strings.Join(obs.MetricUnits, "/"))
+			}
+			return true
+		})
+	}
+}
+
+// isObsRegistry reports whether t is (a pointer to) the Registry type of a
+// package whose import path ends in internal/obs.
+func isObsRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "Registry" || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}

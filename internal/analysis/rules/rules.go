@@ -11,6 +11,7 @@ func All() []*analysis.Analyzer {
 		HotLoopAlloc,
 		MutexByValue,
 		Nondeterminism,
+		ObsNames,
 		UnguardedStats,
 	}
 }

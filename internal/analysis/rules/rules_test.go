@@ -39,6 +39,11 @@ func TestMutexByValue(t *testing.T) {
 	analysistest.Run(t, "testdata/src", rules.MutexByValue, "mutexbyvalue")
 }
 
+func TestObsNames(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, "testdata/src", rules.ObsNames, "obsnames/internal/gw")
+}
+
 func TestUnguardedStats(t *testing.T) {
 	t.Parallel()
 	analysistest.Run(t, "testdata/src", rules.UnguardedStats, "unguardedstats", "unguardedstats/calm")

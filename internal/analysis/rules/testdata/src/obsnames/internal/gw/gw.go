@@ -1,0 +1,35 @@
+package gw
+
+import "obsnames/internal/obs"
+
+// Well-formed names: lowercase snake_case, >= 3 segments, unit suffix.
+func good(r *obs.Registry) {
+	_ = r.Counter("gateway_segments_shipped_total")
+	_ = r.Gauge("farm_jobs_queued_count")
+	_ = r.Histogram("farm_queue_wait_samples", 1024)
+	_ = r.Counter("backhaul_bytes_sent_bytes")
+}
+
+func bad(r *obs.Registry) {
+	_ = r.Counter("GatewaySegments")          // want "metric name \\\"GatewaySegments\\\" does not follow subsystem_name_unit"
+	_ = r.Counter("gateway_total")            // want "metric name \\\"gateway_total\\\" does not follow subsystem_name_unit"
+	_ = r.Gauge("gateway_shipped_segments")   // want "metric name \\\"gateway_shipped_segments\\\" does not follow subsystem_name_unit"
+	_ = r.Histogram("farm__wait_samples", 64) // want "metric name \\\"farm__wait_samples\\\" does not follow subsystem_name_unit"
+	_ = r.Counter("1gateway_segments_total")  // want "metric name \\\"1gateway_segments_total\\\" does not follow subsystem_name_unit"
+}
+
+// Dynamic names cannot be checked statically; the registry validates them
+// at runtime instead.
+func dynamic(r *obs.Registry, tech string) {
+	_ = r.Counter("gateway_frames_" + tech + "_total")
+}
+
+// A same-named method on an unrelated type is not a registry registration.
+type fake struct{}
+
+func (fake) Counter(name string) int { return 0 }
+
+func unrelated() {
+	var f fake
+	_ = f.Counter("NotAMetric")
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/iq"
+	"repro/internal/obs"
 )
 
 // MsgType identifies a protocol message.
@@ -114,13 +115,40 @@ type Segment struct {
 	Samples    []complex128
 }
 
+// ConnMetrics counts a Conn's message and byte flow in both directions.
+// The zero value records nothing (nil-safe counters), so unmetered
+// connections pay only dead branches.
+type ConnMetrics struct {
+	MsgsSent  *obs.Counter // backhaul_messages_sent_total
+	MsgsRecv  *obs.Counter // backhaul_messages_received_total
+	BytesSent *obs.Counter // backhaul_bytes_sent_total
+	BytesRecv *obs.Counter // backhaul_bytes_received_total
+}
+
+// NewConnMetrics wires connection metrics onto a registry. Connections
+// sharing a registry share the counters (the totals are per process-side,
+// not per session).
+func NewConnMetrics(r *obs.Registry) ConnMetrics {
+	return ConnMetrics{
+		MsgsSent:  r.Counter("backhaul_messages_sent_total"),
+		MsgsRecv:  r.Counter("backhaul_messages_received_total"),
+		BytesSent: r.Counter("backhaul_bytes_sent_total"),
+		BytesRecv: r.Counter("backhaul_bytes_received_total"),
+	}
+}
+
 // Conn frames messages over any reliable byte stream.
 type Conn struct {
 	rw io.ReadWriter
+	m  ConnMetrics
 }
 
 // NewConn wraps a byte stream (net.Conn, net.Pipe end, bytes.Buffer...).
 func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// SetMetrics attaches flow counters (see NewConnMetrics). Call before the
+// connection is shared across goroutines.
+func (c *Conn) SetMetrics(m ConnMetrics) { c.m = m }
 
 // WriteMessage sends one framed message.
 func (c *Conn) WriteMessage(t MsgType, payload []byte) error {
@@ -137,10 +165,16 @@ func (c *Conn) WriteMessage(t MsgType, payload []byte) error {
 		// Skip the empty write: zero-length writes on rendezvous streams
 		// like net.Pipe block until a matching read, which a zero-length
 		// io.ReadFull on the peer never issues.
+		c.m.MsgsSent.Inc()
+		c.m.BytesSent.Add(uint64(len(hdr)))
 		return nil
 	}
-	_, err := c.rw.Write(payload)
-	return err
+	if _, err := c.rw.Write(payload); err != nil {
+		return err
+	}
+	c.m.MsgsSent.Inc()
+	c.m.BytesSent.Add(uint64(len(hdr) + len(payload)))
+	return nil
 }
 
 // ReadMessage receives one framed message.
@@ -158,6 +192,8 @@ func (c *Conn) ReadMessage() (MsgType, []byte, error) {
 	if _, err := io.ReadFull(c.rw, payload); err != nil {
 		return 0, nil, err
 	}
+	c.m.MsgsRecv.Inc()
+	c.m.BytesRecv.Add(uint64(len(hdr)) + uint64(n))
 	return t, payload, nil
 }
 

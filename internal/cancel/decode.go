@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/dsp"
+	"repro/internal/obs"
 	"repro/internal/phy"
 )
 
@@ -215,6 +216,30 @@ func (d *Decoder) killTech(rx []complex128, j phy.Technology, stats *Stats) []co
 //  4. move to the next candidate when no kill helps; stop when a full pass
 //     makes no progress.
 func (d *Decoder) Decode(rx []complex128) ([]*phy.Frame, Stats) {
+	return d.DecodeTraced(rx, nil)
+}
+
+// killStageName maps a kill-filter invocation to its trace stage name.
+// Constant strings keep per-iteration recording allocation-free.
+func killStageName(c phy.Class) string {
+	switch c {
+	case phy.ClassFSK, phy.ClassPSK:
+		return "kill_freq"
+	case phy.ClassCSS:
+		return "kill_css"
+	case phy.ClassDSSS:
+		return "kill_codes"
+	}
+	return "kill_none"
+}
+
+// DecodeTraced is Decode with per-stage trace recording: one "sic_round"
+// stage per successful decode-and-subtract (Value = residual energy after
+// the subtraction) and one "kill_*" stage per kill-filter iteration
+// (Value = energy of the filtered view). A nil span reduces to Decode —
+// the residual-energy computations are gated on the span, so untraced
+// decodes pay nothing.
+func (d *Decoder) DecodeTraced(rx []complex128, sp *obs.Span) ([]*phy.Frame, Stats) {
 	var stats Stats
 	residual := dsp.Clone(rx)
 	var decoded []*phy.Frame
@@ -241,6 +266,7 @@ func (d *Decoder) Decode(rx []complex128) ([]*phy.Frame, Stats) {
 	}
 	var others []Candidate // kill-filter scratch, reused across retries
 	for round := 0; round < maxRounds; round++ {
+		tRound := sp.Now()
 		cands := d.Classify(residual)
 		if len(cands) == 0 {
 			break
@@ -278,7 +304,11 @@ func (d *Decoder) Decode(rx []complex128) ([]*phy.Frame, Stats) {
 			sort.Slice(others, func(a, b int) bool { return others[a].Power < others[b].Power })
 			filtered := residual
 			for _, o := range others {
+				tKill := sp.Now()
 				filtered = d.killTech(filtered, o.Tech, &stats)
+				if sp != nil {
+					sp.Stage(killStageName(o.Tech.Class()), sp.Now()-tKill, dsp.Energy(filtered))
+				}
 				if frame, ok := tryDecode(c.Tech, filtered, d.FS); ok {
 					// Cancel from the unfiltered residual so the killed
 					// technologies remain recoverable.
@@ -297,6 +327,11 @@ func (d *Decoder) Decode(rx []complex128) ([]*phy.Frame, Stats) {
 			if progress {
 				break
 			}
+		}
+		if progress && sp != nil {
+			// Residual energy after this round's cancellation: the falling
+			// staircase of Algorithm 1, one stage per recovered frame.
+			sp.Stage("sic_round", sp.Now()-tRound, dsp.Energy(residual))
 		}
 		if !progress {
 			break

@@ -25,6 +25,7 @@ import (
 	"repro/internal/backhaul"
 	"repro/internal/cancel"
 	"repro/internal/farm"
+	"repro/internal/obs"
 	"repro/internal/phy"
 )
 
@@ -34,11 +35,47 @@ type Service struct {
 	// Logf receives per-segment diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 
-	mu      sync.Mutex
-	decoded int
-	stats   cancel.Stats
-	pool    *farm.DecoderPool
-	farm    *farm.Farm
+	mu   sync.Mutex
+	pool *farm.DecoderPool
+	farm *farm.Farm
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	m      cloudMetrics
+}
+
+// cloudMetrics is the service's registry-backed counter set; decodeSegment
+// bumps these instead of a mutex-guarded totals struct, and Totals
+// reconstructs the legacy views from them.
+type cloudMetrics struct {
+	segments   *obs.Counter            // cloud_segments_decoded_total
+	frames     *obs.Counter            // cloud_frames_decoded_total
+	sicRounds  *obs.Counter            // cloud_sic_rounds_total
+	killFreq   *obs.Counter            // cloud_kill_freq_total
+	killCSS    *obs.Counter            // cloud_kill_css_total
+	killCodes  *obs.Counter            // cloud_kill_codes_total
+	failed     *obs.Counter            // cloud_failed_decode_total
+	duplicates *obs.Counter            // cloud_duplicates_total
+	techFrames map[string]*obs.Counter // per-technology decoded frames
+}
+
+func newCloudMetrics(reg *obs.Registry, techs []phy.Technology) cloudMetrics {
+	m := cloudMetrics{
+		segments:   reg.Counter("cloud_segments_decoded_total"),
+		frames:     reg.Counter("cloud_frames_decoded_total"),
+		sicRounds:  reg.Counter("cloud_sic_rounds_total"),
+		killFreq:   reg.Counter("cloud_kill_freq_total"),
+		killCSS:    reg.Counter("cloud_kill_css_total"),
+		killCodes:  reg.Counter("cloud_kill_codes_total"),
+		failed:     reg.Counter("cloud_failed_decode_total"),
+		duplicates: reg.Counter("cloud_duplicates_total"),
+		techFrames: make(map[string]*obs.Counter, len(techs)),
+	}
+	for _, t := range techs {
+		name := t.Name()
+		m.techFrames[name] = reg.Counter("cloud_frames_" + obs.SanitizeToken(name) + "_total")
+	}
+	return m
 }
 
 // NewService returns a decoder service over the given technologies.
@@ -47,8 +84,26 @@ func NewService(techs []phy.Technology) *Service {
 	s.pool = &farm.DecoderPool{New: func(fs float64) *cancel.Decoder {
 		return cancel.NewDecoder(s.Techs, fs)
 	}}
+	s.reg = obs.NewRegistry()
+	s.m = newCloudMetrics(s.reg, techs)
 	return s
 }
+
+// UseObs rewires the service onto a shared registry (and optional tracer):
+// the cloud_* counters move to reg, and per-segment spans are opened on tr.
+// Call before serving traffic — metric values recorded on the private
+// registry do not migrate.
+func (s *Service) UseObs(reg *obs.Registry, tr *obs.Tracer) {
+	if reg != nil {
+		s.reg = reg
+		s.m = newCloudMetrics(reg, s.Techs)
+	}
+	s.tracer = tr
+}
+
+// Registry exposes the service's metric registry (the private one, or
+// whatever UseObs installed), for the obs HTTP server and shutdown dumps.
+func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // StartFarm attaches a decode farm: ServeConn sessions stop decoding
 // inline and submit to the shared worker pool instead. cfg.Decode is
@@ -58,6 +113,9 @@ func NewService(techs []phy.Technology) *Service {
 func (s *Service) StartFarm(cfg farm.Config) *farm.Farm {
 	if cfg.Decode == nil {
 		cfg.Decode = s.decodeSegment
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = s.reg // farm_* metrics land next to the cloud_* series
 	}
 	f := farm.New(cfg)
 	s.mu.Lock()
@@ -89,11 +147,15 @@ func (s *Service) DecodeSegment(seg backhaul.Segment) backhaul.FramesReport {
 	return report
 }
 
-// decodeSegment is the farm DecodeFunc: pooled decoder, totals accounting,
-// per-segment diagnostics.
-func (s *Service) decodeSegment(_ context.Context, seg backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error) {
+// decodeSegment is the farm DecodeFunc: pooled decoder, registry
+// accounting, per-segment diagnostics. A trace span riding on ctx (placed
+// there by handleSegment) collects the decode and SIC stages.
+func (s *Service) decodeSegment(ctx context.Context, seg backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error) {
+	sp := obs.SpanFromContext(ctx)
 	dec := s.pool.Get(seg.SampleRate)
-	frames, stats := dec.Decode(seg.Samples)
+	tDecode := sp.Now()
+	frames, stats := dec.DecodeTraced(seg.Samples, sp)
+	sp.Stage("decode", sp.Now()-tDecode, float64(len(frames)))
 	s.pool.Put(dec)
 	report := backhaul.FramesReport{SegmentStart: seg.Start}
 	for _, f := range frames {
@@ -104,15 +166,18 @@ func (s *Service) decodeSegment(_ context.Context, seg backhaul.Segment) (backha
 			Offset:  seg.Start + int64(f.Offset),
 			SNRdB:   f.SNRdB,
 		})
+		if c, ok := s.m.techFrames[f.Tech]; ok {
+			c.Inc()
+		}
 	}
-	s.mu.Lock()
-	s.decoded += len(frames)
-	s.stats.SICRounds += stats.SICRounds
-	s.stats.KillFreq += stats.KillFreq
-	s.stats.KillCSS += stats.KillCSS
-	s.stats.KillCodes += stats.KillCodes
-	s.stats.FailedDecode += stats.FailedDecode
-	s.mu.Unlock()
+	s.m.segments.Inc()
+	s.m.frames.Add(uint64(len(frames)))
+	s.m.sicRounds.Add(uint64(stats.SICRounds))
+	s.m.killFreq.Add(uint64(stats.KillFreq))
+	s.m.killCSS.Add(uint64(stats.KillCSS))
+	s.m.killCodes.Add(uint64(stats.KillCodes))
+	s.m.failed.Add(uint64(stats.FailedDecode))
+	s.m.duplicates.Add(uint64(stats.Duplicates))
 	if s.Logf != nil {
 		s.Logf("segment @%d: %d samples -> %d frames (stats %+v)",
 			seg.Start, len(seg.Samples), len(frames), stats)
@@ -121,15 +186,23 @@ func (s *Service) decodeSegment(_ context.Context, seg backhaul.Segment) (backha
 }
 
 // Totals returns the cumulative frame count, decoder statistics, and a
-// snapshot of the decode farm (zero when no farm is attached).
+// snapshot of the decode farm (zero when no farm is attached). The values
+// are reconstructed from the metric registry, so Totals, /metrics and the
+// shutdown dump always agree.
 func (s *Service) Totals() (int, cancel.Stats, farm.Stats) {
 	var fs farm.Stats
 	if f := s.Farm(); f != nil {
 		fs = f.Snapshot()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.decoded, s.stats, fs
+	st := cancel.Stats{
+		SICRounds:    int(s.m.sicRounds.Value()),
+		KillFreq:     int(s.m.killFreq.Value()),
+		KillCSS:      int(s.m.killCSS.Value()),
+		KillCodes:    int(s.m.killCodes.Value()),
+		FailedDecode: int(s.m.failed.Value()),
+		Duplicates:   int(s.m.duplicates.Value()),
+	}
+	return int(s.m.frames.Value()), st, fs
 }
 
 // session carries the per-connection state of one ServeConn call.
@@ -171,6 +244,7 @@ func (ss *session) writeErr() error {
 // errors; on bye, every admitted segment has been answered first.
 func (s *Service) ServeConn(rw io.ReadWriter) error {
 	conn := backhaul.NewConn(rw)
+	conn.SetMetrics(backhaul.NewConnMetrics(s.reg))
 	typ, payload, err := conn.ReadMessage()
 	if err != nil {
 		return err
@@ -255,22 +329,30 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 // attached, otherwise farm admission with per-version overload behavior
 // (v1 blocks for backpressure, v2 rejects with MsgBusy).
 func (ss *session) handleSegment(f *farm.Farm, seq uint64, sequenced bool, seg backhaul.Segment) error {
+	// The cloud-side span shares its trace ID with the gateway-side span of
+	// the same segment (both derive it from the segment's absolute start),
+	// so /trace/recent shows one merged detect→decode trace.
+	sp := ss.svc.tracer.Start("cloud-segment", obs.SegmentTraceID(seg.Start))
+	ctx := obs.ContextWithSpan(ss.ctx, sp)
 	if f == nil {
-		report, _, _ := ss.svc.decodeSegment(ss.ctx, seg)
+		report, _, _ := ss.svc.decodeSegment(ctx, seg)
 		report.Seq = seq
-		return ss.conn.SendFrames(report)
+		err := ss.conn.SendFrames(report)
+		sp.End()
+		return err
 	}
 	slot := ss.seqr.Reserve()
 	deliver := func(res farm.Result) {
 		ss.seqr.Deliver(slot, func() {
 			ss.reply(seq, sequenced, seg, res)
+			sp.End()
 		})
 	}
 	var err error
 	if sequenced {
-		err = f.TrySubmit(ss.ctx, seg, deliver)
+		err = f.TrySubmit(ctx, seg, deliver)
 	} else {
-		err = f.Submit(ss.ctx, seg, deliver)
+		err = f.Submit(ctx, seg, deliver)
 	}
 	switch err {
 	case nil:
@@ -278,11 +360,13 @@ func (ss *session) handleSegment(f *farm.Farm, seq uint64, sequenced bool, seg b
 	case farm.ErrBusy:
 		// Admission control said no: answer the slot with an explicit
 		// reject so the gateway can retire the segment from its window.
+		sp.Stage("busy_reject", 0, 0)
 		deliver(farm.Result{Err: err})
 		return nil
 	default:
 		// Farm closed mid-session: release the slot and end the session.
 		ss.seqr.Deliver(slot, func() {})
+		sp.End()
 		return fmt.Errorf("cloud: decode farm unavailable: %w", err)
 	}
 }

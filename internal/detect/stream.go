@@ -1,5 +1,26 @@
 package detect
 
+import "repro/internal/obs"
+
+// StreamMetrics is the observability hook of a Stream: counters for
+// samples in and segments out, and a gauge tracking the sliding buffer.
+// The zero value (all nil) records nothing — every update is a nil-safe
+// atomic op, so the hot path carries no branches or locks of its own.
+type StreamMetrics struct {
+	SamplesIn *obs.Counter // detect_samples_pushed_total
+	Segments  *obs.Counter // detect_segments_emitted_total
+	Pending   *obs.Gauge   // detect_stream_pending_samples
+}
+
+// NewStreamMetrics wires stream metrics onto a registry.
+func NewStreamMetrics(r *obs.Registry) StreamMetrics {
+	return StreamMetrics{
+		SamplesIn: r.Counter("detect_samples_pushed_total"),
+		Segments:  r.Counter("detect_segments_emitted_total"),
+		Pending:   r.Gauge("detect_stream_pending_samples"),
+	}
+}
+
 // Stream runs a Detector continuously over an unbounded sample stream,
 // handling packets that straddle capture boundaries. Captures pushed into
 // the stream are concatenated in a sliding buffer; detections whose
@@ -13,6 +34,8 @@ type Stream struct {
 	buf     []complex128
 	base    int64 // absolute index of buf[0]
 	emitted int64 // absolute high-water mark of emitted segment ends
+
+	m StreamMetrics
 }
 
 // StreamSegment is a segment with an absolute start index.
@@ -36,8 +59,11 @@ func NewStream(det Detector, maxPacket int) *Stream {
 // extend into samples not yet seen.
 func (s *Stream) Push(capture []complex128) []StreamSegment {
 	s.buf = append(s.buf, capture...)
+	s.m.SamplesIn.Add(uint64(len(capture)))
 	out := s.collect(false)
 	s.trim()
+	s.m.Segments.Add(uint64(len(out)))
+	s.m.Pending.Set(int64(len(s.buf)))
 	return out
 }
 
@@ -47,8 +73,14 @@ func (s *Stream) Flush() []StreamSegment {
 	out := s.collect(true)
 	s.base += int64(len(s.buf))
 	s.buf = nil
+	s.m.Segments.Add(uint64(len(out)))
+	s.m.Pending.Set(0)
 	return out
 }
+
+// SetMetrics attaches observability counters (see NewStreamMetrics). Call
+// before the stream is shared; the zero StreamMetrics detaches.
+func (s *Stream) SetMetrics(m StreamMetrics) { s.m = m }
 
 // collect runs detection over the current buffer and emits segments; when
 // final is false, segments touching the last maxPacket/2 samples are

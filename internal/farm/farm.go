@@ -32,11 +32,11 @@ package farm
 import (
 	"context"
 	"errors"
-	"sort"
 	"sync"
 
 	"repro/internal/backhaul"
 	"repro/internal/cancel"
+	"repro/internal/obs"
 )
 
 // DecodeFunc decodes one shipped segment. Implementations must be safe for
@@ -52,6 +52,10 @@ type Config struct {
 	QueueDepth int
 	// Decode runs one segment. Required.
 	Decode DecodeFunc
+	// Obs receives the farm's metrics (farm_jobs_* counters/gauges and the
+	// farm_queue_wait_samples histogram). Nil creates a private registry so
+	// Snapshot keeps working standalone.
+	Obs *obs.Registry
 }
 
 // Sentinel errors returned by the admission path.
@@ -81,8 +85,9 @@ type job struct {
 	admitClock int64 // farm sample clock at admission
 }
 
-// waitWindow is how many recent queue waits the quantile estimator keeps.
-const waitWindow = 1024
+// waitWindow is how many recent queue waits the quantile histogram keeps
+// (the window of the farm_queue_wait_samples metric).
+const waitWindow = obs.DefaultHistogramWindow
 
 // Farm is the shared decode farm. Create with New, stop with Close.
 type Farm struct {
@@ -95,15 +100,18 @@ type Farm struct {
 	head  int
 	wg    sync.WaitGroup
 
-	closed   bool
-	clock    int64 // total samples admitted so far (the sample clock)
-	inFlight int
-	admitted uint64
-	done     uint64
-	rejected uint64
-	deadline uint64
-	waits    [waitWindow]int64 // ring of recent queue waits, in samples
-	waitN    int               // total waits recorded
+	closed bool
+	clock  int64 // total samples admitted so far (the sample clock)
+
+	// Metrics live on the registry (Config.Obs or a private one) so the
+	// same numbers feed Snapshot, /metrics, and the shutdown dump.
+	admitted  *obs.Counter
+	completed *obs.Counter
+	rejected  *obs.Counter
+	deadline  *obs.Counter
+	queuedG   *obs.Gauge
+	inFlightG *obs.Gauge
+	waitH     *obs.Histogram // recent queue waits, in samples
 }
 
 // Stats is a point-in-time snapshot of the farm, exposed through
@@ -138,7 +146,20 @@ func New(cfg Config) *Farm {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	f := &Farm{cfg: cfg}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	f := &Farm{
+		cfg:       cfg,
+		admitted:  reg.Counter("farm_jobs_admitted_total"),
+		completed: reg.Counter("farm_jobs_completed_total"),
+		rejected:  reg.Counter("farm_jobs_rejected_total"),
+		deadline:  reg.Counter("farm_jobs_deadline_total"),
+		queuedG:   reg.Gauge("farm_jobs_queued_count"),
+		inFlightG: reg.Gauge("farm_jobs_inflight_count"),
+		waitH:     reg.Histogram("farm_queue_wait_samples", waitWindow),
+	}
 	f.work = sync.NewCond(&f.mu)
 	f.space = sync.NewCond(&f.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -177,14 +198,15 @@ func (f *Farm) admit(ctx context.Context, seg backhaul.Segment, done func(Result
 			break
 		}
 		if !wait {
-			f.rejected++
+			f.rejected.Inc()
 			return ErrBusy
 		}
 		f.space.Wait()
 	}
 	f.queue = append(f.queue, job{ctx: ctx, seg: seg, done: done, admitClock: f.clock})
 	f.clock += int64(len(seg.Samples))
-	f.admitted++
+	f.admitted.Inc()
+	f.queuedG.Add(1)
 	f.work.Signal()
 	return nil
 }
@@ -218,25 +240,25 @@ func (f *Farm) run() {
 			return
 		}
 		j := f.pop()
-		f.inFlight++
-		f.waits[f.waitN%waitWindow] = f.clock - j.admitClock
-		f.waitN++
+		wait := f.clock - j.admitClock
 		f.mu.Unlock()
+		f.queuedG.Add(-1)
+		f.inFlightG.Add(1)
+		f.waitH.Observe(wait)
+		if sp := obs.SpanFromContext(j.ctx); sp != nil {
+			sp.Stage("farm_queue", wait, float64(len(j.seg.Samples)))
+		}
 		f.space.Signal()
 
 		var res Result
 		if err := j.ctx.Err(); err != nil {
 			res.Err = err
-			f.mu.Lock()
-			f.deadline++
-			f.mu.Unlock()
+			f.deadline.Inc()
 		} else {
 			res.Report, res.Stats, res.Err = f.cfg.Decode(j.ctx, j.seg)
 		}
-		f.mu.Lock()
-		f.inFlight--
-		f.done++
-		f.mu.Unlock()
+		f.inFlightG.Add(-1)
+		f.completed.Inc()
 		j.done(res)
 	}
 }
@@ -253,30 +275,21 @@ func (f *Farm) Close() {
 	f.wg.Wait()
 }
 
-// Snapshot returns current counters and queue-wait quantiles.
+// Snapshot returns current counters and queue-wait quantiles. The numbers
+// are read from the farm's registry metrics, so Snapshot, /metrics and the
+// shutdown dump can never disagree.
 func (f *Farm) Snapshot() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	s := Stats{
+	hs := f.waitH.Snapshot()
+	return Stats{
 		Workers:          f.cfg.Workers,
 		QueueDepth:       f.cfg.QueueDepth,
-		Queued:           f.queued(),
-		InFlight:         f.inFlight,
-		Admitted:         f.admitted,
-		Completed:        f.done,
-		Rejected:         f.rejected,
-		DeadlineExceeded: f.deadline,
+		Queued:           int(f.queuedG.Value()),
+		InFlight:         int(f.inFlightG.Value()),
+		Admitted:         f.admitted.Value(),
+		Completed:        f.completed.Value(),
+		Rejected:         f.rejected.Value(),
+		DeadlineExceeded: f.deadline.Value(),
+		P50QueueWait:     hs.P50,
+		P99QueueWait:     hs.P99,
 	}
-	n := f.waitN
-	if n > waitWindow {
-		n = waitWindow
-	}
-	if n > 0 {
-		sorted := make([]int64, n)
-		copy(sorted, f.waits[:n])
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		s.P50QueueWait = sorted[n/2]
-		s.P99QueueWait = sorted[(n*99)/100]
-	}
-	return s
 }

@@ -11,12 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 
 	"repro/internal/backhaul"
 	"repro/internal/cancel"
 	"repro/internal/detect"
 	"repro/internal/frontend"
+	"repro/internal/obs"
 	"repro/internal/phy"
 )
 
@@ -39,9 +39,19 @@ type Config struct {
 	// Window bounds the unacknowledged segments Run pipelines on a v2
 	// session (default DefaultWindow). The cloud's hello ack may shrink it.
 	Window int
+	// Obs receives the gateway's metrics (gateway_*, detect_* and
+	// backhaul_* series). Nil creates a private registry; Stats reads from
+	// it either way.
+	Obs *obs.Registry
+	// Tracer enables per-segment trace spans (detect, edge decode, window
+	// wait, encode+ship stages). Nil disables tracing at the cost of one
+	// branch per stage.
+	Tracer *obs.Tracer
 }
 
-// Stats counts what a gateway did.
+// Stats counts what a gateway did. It is assembled on demand from the
+// gateway's metric registry (the gateway_* counters), kept as a struct for
+// callers and log lines that predate the registry.
 type Stats struct {
 	CapturesProcessed int
 	Detections        int
@@ -52,6 +62,41 @@ type Stats struct {
 	BusyRejects       int // segments the cloud rejected with a busy message
 	WireBytes         int // backhaul bytes actually sent
 	RawBytes          int // what streaming every capture raw (cu8) would have cost
+}
+
+// metrics is the gateway's registry-backed counter set; one atomic add per
+// event, no lock (the registry lock is only taken at wiring time).
+type metrics struct {
+	captures    *obs.Counter
+	detections  *obs.Counter
+	shipped     *obs.Counter
+	resolved    *obs.Counter
+	edgeFrames  *obs.Counter
+	badReports  *obs.Counter
+	busyRejects *obs.Counter
+	wireBytes   *obs.Counter
+	rawBytes    *obs.Counter
+	techFrames  map[string]*obs.Counter // per-technology edge frames, read-only after wiring
+}
+
+func newMetrics(reg *obs.Registry, techs []phy.Technology) metrics {
+	m := metrics{
+		captures:    reg.Counter("gateway_captures_processed_total"),
+		detections:  reg.Counter("gateway_segments_detected_total"),
+		shipped:     reg.Counter("gateway_segments_shipped_total"),
+		resolved:    reg.Counter("gateway_segments_resolved_total"),
+		edgeFrames:  reg.Counter("gateway_edge_frames_total"),
+		badReports:  reg.Counter("gateway_bad_reports_total"),
+		busyRejects: reg.Counter("gateway_busy_rejects_total"),
+		wireBytes:   reg.Counter("gateway_wire_bytes_total"),
+		rawBytes:    reg.Counter("gateway_raw_bytes_total"),
+		techFrames:  make(map[string]*obs.Counter, len(techs)),
+	}
+	for _, t := range techs {
+		name := t.Name()
+		m.techFrames[name] = reg.Counter("gateway_frames_" + obs.SanitizeToken(name) + "_total")
+	}
+	return m
 }
 
 // Gateway runs the detection/edge/ship pipeline. Captures are fed through
@@ -65,8 +110,9 @@ type Gateway struct {
 	edge      *cancel.Decoder
 	maxPacket int
 
-	mu    sync.Mutex // guards stats; Run's reader goroutine made Gateway shared
-	stats Stats
+	reg    *obs.Registry
+	m      metrics
+	tracer *obs.Tracer
 }
 
 // New builds a gateway. The default detector is the universal-preamble
@@ -102,29 +148,56 @@ func New(cfg Config) (*Gateway, error) {
 	// Edge decoding assumes no collision: single pass, no kill filters.
 	edge := cancel.NewSIC(cfg.Techs, fs)
 	edge.MaxRounds = 1
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	stream := detect.NewStream(det, maxPacket)
+	stream.SetMetrics(detect.NewStreamMetrics(reg))
 	return &Gateway{
 		cfg:       cfg,
 		det:       det,
-		stream:    detect.NewStream(det, maxPacket),
+		stream:    stream,
 		edge:      edge,
 		maxPacket: maxPacket,
+		reg:       reg,
+		m:         newMetrics(reg, cfg.Techs),
+		tracer:    cfg.Tracer,
 	}, nil
 }
+
+// Registry exposes the gateway's metric registry (Config.Obs, or the
+// private one), for the obs HTTP server and shutdown dumps.
+func (g *Gateway) Registry() *obs.Registry { return g.reg }
 
 // SampleRate returns the gateway's front-end sample rate.
 func (g *Gateway) SampleRate() float64 { return g.cfg.Frontend.SampleRate() }
 
-// Stats returns a snapshot of the gateway's counters.
+// Stats returns a snapshot of the gateway's counters, reconstructed from
+// the metric registry (the registry is the single source of truth).
 func (g *Gateway) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	return Stats{
+		CapturesProcessed: int(g.m.captures.Value()),
+		Detections:        int(g.m.detections.Value()),
+		SegmentsShipped:   int(g.m.shipped.Value()),
+		SegmentsResolved:  int(g.m.resolved.Value()),
+		EdgeFrames:        int(g.m.edgeFrames.Value()),
+		BadReports:        int(g.m.badReports.Value()),
+		BusyRejects:       int(g.m.busyRejects.Value()),
+		WireBytes:         int(g.m.wireBytes.Value()),
+		RawBytes:          int(g.m.rawBytes.Value()),
+	}
 }
 
 // Result is the outcome of processing one capture.
 type Result struct {
 	EdgeFrames []*phy.Frame       // frames fully resolved at the edge
 	Shipped    []backhaul.Segment // segments that need the cloud
+	// Spans holds the open trace span of each Shipped segment (parallel to
+	// Shipped; all nil when tracing is disabled). Run closes them as the
+	// segments go out; callers driving Process directly may End or drop
+	// them.
+	Spans []*obs.Span
 }
 
 // Process runs one antenna capture through the pipeline: front-end
@@ -135,34 +208,48 @@ type Result struct {
 // packets they cover may continue into samples not yet received.
 func (g *Gateway) Process(antenna []complex128) Result {
 	rx := g.cfg.Frontend.Capture(antenna)
-	g.mu.Lock()
-	g.stats.CapturesProcessed++
-	g.stats.RawBytes += 2 * len(rx) // cu8 raw stream cost
-	g.mu.Unlock()
-	return g.handle(g.stream.Push(rx))
+	g.m.captures.Inc()
+	g.m.rawBytes.Add(uint64(2 * len(rx))) // cu8 raw stream cost
+	t0 := g.tracer.Now()
+	segments := g.stream.Push(rx)
+	return g.handle(segments, g.tracer.Now()-t0)
 }
 
 // Flush drains segments still held in the streaming detector. Call once
 // when no more captures will arrive.
 func (g *Gateway) Flush() Result {
-	return g.handle(g.stream.Flush())
+	t0 := g.tracer.Now()
+	segments := g.stream.Flush()
+	return g.handle(segments, g.tracer.Now()-t0)
 }
 
-// handle routes completed segments through edge decode or shipping.
-func (g *Gateway) handle(segments []detect.StreamSegment) Result {
+// handle routes completed segments through edge decode or shipping. Each
+// segment opens a trace span keyed by its absolute start sample; spans of
+// edge-resolved segments end here, spans of shipped segments travel with
+// Result and end when the bytes go out. detectDur is the detection cost of
+// the capture that completed these segments (charged to every segment it
+// produced — detection is a per-capture pass, not per-segment).
+func (g *Gateway) handle(segments []detect.StreamSegment, detectDur int64) Result {
 	fs := g.cfg.Frontend.SampleRate()
 	var res Result
-	edgeFrames, resolved := 0, 0
 	for _, seg := range segments {
+		sp := g.tracer.Start("gateway-segment", obs.SegmentTraceID(seg.Start))
+		sp.Stage("detect", detectDur, float64(len(seg.Samples)))
 		if g.cfg.EdgeDecode {
-			frames, _ := g.edge.Decode(seg.Samples)
+			tEdge := sp.Now()
+			frames, _ := g.edge.DecodeTraced(seg.Samples, sp)
+			sp.Stage("edge_decode", sp.Now()-tEdge, float64(len(frames)))
 			if len(frames) == 1 && frames[0].CRCOK && !g.likelyCollision(seg.Samples, frames[0]) {
 				for _, f := range frames {
 					f.Offset += int(seg.Start)
+					if c, ok := g.m.techFrames[f.Tech]; ok {
+						c.Inc()
+					}
 				}
 				res.EdgeFrames = append(res.EdgeFrames, frames...)
-				edgeFrames += len(frames)
-				resolved++
+				g.m.edgeFrames.Add(uint64(len(frames)))
+				g.m.resolved.Inc()
+				sp.End()
 				continue
 			}
 		}
@@ -171,13 +258,10 @@ func (g *Gateway) handle(segments []detect.StreamSegment) Result {
 			SampleRate: fs,
 			Samples:    seg.Samples,
 		})
+		res.Spans = append(res.Spans, sp)
 	}
-	g.mu.Lock()
-	g.stats.Detections += len(segments)
-	g.stats.EdgeFrames += edgeFrames
-	g.stats.SegmentsResolved += resolved
-	g.stats.SegmentsShipped += len(res.Shipped)
-	g.mu.Unlock()
+	g.m.detections.Add(uint64(len(segments)))
+	g.m.shipped.Add(uint64(len(res.Shipped)))
 	return res
 }
 
@@ -201,11 +285,7 @@ func (g *Gateway) likelyCollision(samples []complex128, decoded *phy.Frame) bool
 
 // countBadReport records a cloud reply the gateway could not parse, so
 // malformed traffic shows up in Stats instead of being silently discarded.
-func (g *Gateway) countBadReport() {
-	g.mu.Lock()
-	g.stats.BadReports++
-	g.mu.Unlock()
-}
+func (g *Gateway) countBadReport() { g.m.badReports.Inc() }
 
 // Run drives a session over a backhaul connection: hello (with version
 // negotiation), then the shipped segments of each capture delivered on
@@ -216,6 +296,7 @@ func (g *Gateway) countBadReport() {
 // delivered to the reports callback (may be nil).
 func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports func(backhaul.FramesReport)) error {
 	conn := backhaul.NewConn(rw)
+	conn.SetMetrics(backhaul.NewConnMetrics(g.reg))
 	version := g.cfg.Protocol
 	if version == 0 {
 		version = backhaul.Version
@@ -283,9 +364,7 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 				if _, err := backhaul.ParseBusy(payload); err != nil {
 					g.countBadReport()
 				} else {
-					g.mu.Lock()
-					g.stats.BusyRejects++
-					g.mu.Unlock()
+					g.m.busyRejects.Inc()
 				}
 				release()
 			case backhaul.MsgBye:
@@ -297,26 +376,35 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 	}()
 	var seq uint64
 	ship := func(res Result) error {
-		for _, seg := range res.Shipped {
+		for i, seg := range res.Shipped {
+			var sp *obs.Span
+			if i < len(res.Spans) {
+				sp = res.Spans[i]
+			}
 			var n int
 			var err error
 			if version >= 2 {
+				tWait := sp.Now()
 				select {
 				case tokens <- struct{}{}: // claim a window slot
 				case <-done:
 					return errors.New("gateway: connection closed while shipping")
 				}
+				sp.Stage("ship_wait", sp.Now()-tWait, float64(len(tokens)))
+				tShip := sp.Now()
 				n, err = conn.SendSegmentSeq(g.cfg.Codec, seq, seg)
+				sp.Stage("encode_ship", sp.Now()-tShip, float64(n))
 				seq++
 			} else {
+				tShip := sp.Now()
 				n, err = conn.SendSegment(g.cfg.Codec, seg)
+				sp.Stage("encode_ship", sp.Now()-tShip, float64(n))
 			}
+			sp.End()
 			if err != nil {
 				return err
 			}
-			g.mu.Lock()
-			g.stats.WireBytes += n
-			g.mu.Unlock()
+			g.m.wireBytes.Add(uint64(n))
 		}
 		return nil
 	}

@@ -1,0 +1,379 @@
+// Package obs is the observability layer of the GalioT pipeline: a
+// registry of named counters, gauges and windowed histograms, per-segment
+// trace spans, and an HTTP introspection server (/metrics, /trace/recent,
+// /debug/pprof). It is stdlib-only and obeys the repository's determinism
+// and hot-path rules (DESIGN.md §10):
+//
+//   - Counters and gauges are single atomics; incrementing one from the
+//     detect or decode hot path is a handful of nanoseconds and never
+//     allocates or takes a lock.
+//   - Histograms are lock-free windowed rings of atomics; Observe is one
+//     atomic add plus one atomic store. Quantiles are computed at snapshot
+//     time, off the hot path, with the same integer index math the farm's
+//     private estimator used (sorted[n*p/100]) so migrated outputs are
+//     bit-identical.
+//   - Nothing in this package reads the wall clock; trace durations come
+//     from an injectable clock that defaults to a deterministic step
+//     counter (commands inject time.Now, libraries stay replayable).
+//
+// Metric names follow subsystem_name_unit (lowercase snake_case, at least
+// three segments, unit drawn from a closed vocabulary) so they stay
+// greppable; the obsnames lint rule enforces the scheme on literals and
+// the registry panics on dynamic names that break it.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricUnits is the closed unit vocabulary a metric name must end with.
+// Keep in sync with the obsnames rule's documentation.
+var MetricUnits = []string{"bytes", "count", "nanos", "ratio", "samples", "total"}
+
+// ValidMetricName reports whether name follows the subsystem_name_unit
+// scheme: lowercase snake_case, at least three segments, no empty or
+// non-[a-z0-9] segments, first character a letter, final segment one of
+// MetricUnits.
+func ValidMetricName(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	segments := 1
+	segStart := 0
+	lastSeg := ""
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '_' {
+			if i == segStart {
+				return false // empty segment
+			}
+			lastSeg = name[segStart:i]
+			segStart = i + 1
+			if i < len(name) {
+				segments++
+			}
+			continue
+		}
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	if segments < 3 {
+		return false
+	}
+	for _, u := range MetricUnits {
+		if lastSeg == u {
+			return true
+		}
+	}
+	return false
+}
+
+// mustValidName guards registration against dynamic names the obsnames
+// lint rule cannot see. A bad name is a programming error, surfaced loudly.
+func mustValidName(name string) {
+	if !ValidMetricName(name) {
+		panic("obs: metric name " + name + " does not follow subsystem_name_unit (lowercase snake_case, >=3 segments, unit in {bytes,count,nanos,ratio,samples,total})")
+	}
+}
+
+// SanitizeToken lowercases s and strips everything outside [a-z0-9], for
+// splicing externally-sourced identifiers (technology names, gateway IDs)
+// into metric names.
+func SanitizeToken(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+('a'-'A'))
+		}
+	}
+	if len(out) == 0 {
+		return "unknown"
+	}
+	return string(out)
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-safe no-ops so instrumented code never needs a "metrics enabled?"
+// branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultHistogramWindow is the observation window when Registry.Histogram
+// is called with window <= 0. It matches the farm's historical estimator.
+const DefaultHistogramWindow = 1024
+
+// Histogram keeps the last window observations in a lock-free ring and
+// computes quantiles over them at snapshot time. Observe is wait-free: one
+// atomic add to claim a slot, one atomic store to fill it. A concurrent
+// snapshot may see a slot mid-overwrite as either the old or the new value
+// — both were real observations, so quantiles stay meaningful.
+type Histogram struct {
+	window int
+	count  atomic.Uint64
+	ring   []atomic.Int64
+}
+
+// NewHistogram builds a standalone histogram (Registry.Histogram is the
+// usual constructor).
+func NewHistogram(window int) *Histogram {
+	if window <= 0 {
+		window = DefaultHistogramWindow
+	}
+	return &Histogram{window: window, ring: make([]atomic.Int64, window)}
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := h.count.Add(1) - 1
+	h.ring[i%uint64(h.window)].Store(v)
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count  uint64 `json:"count"`  // observations ever recorded
+	Window int    `json:"window"` // ring capacity the quantiles cover
+	P50    int64  `json:"p50"`
+	P99    int64  `json:"p99"`
+}
+
+// Snapshot sorts a copy of the ring and summarizes it. The quantile index
+// math (sorted[n*p/100]) is deliberately identical to the estimator it
+// replaced in internal/farm, so existing outputs and tests carry over.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Window: h.window}
+	n := int(s.Count)
+	if s.Count > uint64(h.window) {
+		n = h.window
+	}
+	if n == 0 {
+		return s
+	}
+	sorted := make([]int64, n)
+	for i := 0; i < n; i++ {
+		sorted[i] = h.ring[i].Load()
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.P50 = sorted[n*50/100]
+	s.P99 = sorted[n*99/100]
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) over the current window,
+// for callers that need quantiles beyond the snapshot's p50/p99.
+func (h *Histogram) Percentile(p int) int64 {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	n := int(count)
+	if count > uint64(h.window) {
+		n = h.window
+	}
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]int64, n)
+	for i := 0; i < n; i++ {
+		sorted[i] = h.ring[i].Load()
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := n * p / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// Registry is a concurrent-safe namespace of metrics. Getters create on
+// first use and return the same instance afterwards, so independently
+// wired subsystems sharing a registry converge on the same counters.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	// Registration-ordered names, so snapshots never iterate a map
+	// (iteration order would vary run to run).
+	counterNames []string
+	gaugeNames   []string
+	histNames    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. The name
+// must follow the subsystem_name_unit scheme (see ValidMetricName).
+func (r *Registry) Counter(name string) *Counter {
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.counterNames = append(r.counterNames, name)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.gaugeNames = append(r.gaugeNames, name)
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given window
+// on first use (window <= 0 means DefaultHistogramWindow). Later calls
+// return the existing histogram regardless of window.
+func (r *Registry) Histogram(name string, window int) *Histogram {
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(window)
+	r.hists[name] = h
+	r.histNames = append(r.histNames, name)
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. JSON
+// encoding sorts map keys, so the serialized form is deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every metric. Safe to call concurrently with writers; the
+// result is a consistent-enough view for monitoring (each metric is read
+// atomically, the set as a whole is not a transaction).
+func (r *Registry) Snapshot() Snapshot {
+	type counterRef struct {
+		name string
+		c    *Counter
+	}
+	type gaugeRef struct {
+		name string
+		g    *Gauge
+	}
+	type histRef struct {
+		name string
+		h    *Histogram
+	}
+	r.mu.Lock()
+	counters := make([]counterRef, len(r.counterNames))
+	for i, name := range r.counterNames {
+		counters[i] = counterRef{name, r.counters[name]}
+	}
+	gauges := make([]gaugeRef, len(r.gaugeNames))
+	for i, name := range r.gaugeNames {
+		gauges[i] = gaugeRef{name, r.gauges[name]}
+	}
+	hists := make([]histRef, len(r.histNames))
+	for i, name := range r.histNames {
+		hists[i] = histRef{name, r.hists[name]}
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for _, ref := range counters {
+		snap.Counters[ref.name] = ref.c.Value()
+	}
+	for _, ref := range gauges {
+		snap.Gauges[ref.name] = ref.g.Value()
+	}
+	for _, ref := range hists {
+		snap.Histograms[ref.name] = ref.h.Snapshot()
+	}
+	return snap
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the live-introspection HTTP endpoint mounted behind the
+// -obs-addr flag of galiot-gateway and galiot-cloud:
+//
+//	GET /metrics       registry snapshot as one JSON object
+//	GET /trace/recent  ring of recent segment traces (spans grouped by ID)
+//	GET /debug/pprof/  standard pprof handlers (explicitly wired to the
+//	                   server's own mux, not http.DefaultServeMux)
+//
+// Start listens and serves in a background goroutine; Close shuts the
+// server down and joins that goroutine, so a started server never leaks.
+type Server struct {
+	// Registry backs /metrics; nil serves an empty snapshot.
+	Registry *Registry
+	// Tracer backs /trace/recent; nil serves an empty list.
+	Tracer *Tracer
+
+	wg       sync.WaitGroup
+	ln       net.Listener
+	srv      *http.Server
+	serveErr error // written by the serve goroutine, read after wg.Wait
+}
+
+// Start binds addr ("host:port"; ":0" picks a free port — see Addr) and
+// serves in the background until Close.
+func (s *Server) Start(addr string) error {
+	if s.srv != nil {
+		return errors.New("obs: server already started")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace/recent", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listener address, or nil before Start.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener, closes open connections, and waits for the
+// serve goroutine. Safe to call without a successful Start.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	s.wg.Wait()
+	if s.serveErr != nil {
+		return s.serveErr
+	}
+	return err
+}
+
+// writeJSON marshals v and writes it with a trailing newline. Encode
+// errors surface as a 500; write errors mean the client went away and are
+// deliberately dropped.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.Registry == nil {
+		writeJSON(w, Snapshot{})
+		return
+	}
+	writeJSON(w, s.Registry.Snapshot())
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := s.Tracer.Recent()
+	if traces == nil {
+		traces = []TraceSnapshot{}
+	}
+	writeJSON(w, traces)
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxStages bounds the stages one span can hold. Spans live in a
+// sync.Pool and carry a fixed-size stage array, so recording a stage never
+// allocates; stages past the cap are counted in DroppedStages instead of
+// grown.
+const MaxStages = 24
+
+// DefaultTraceRing is the span ring size when Tracer is built with
+// ringSize <= 0.
+const DefaultTraceRing = 256
+
+// Stage is one timed step of a span. Dur is measured on the clock of
+// whichever subsystem recorded it (the tracer clock for timed stages, the
+// farm's sample clock for queue waits — see DESIGN.md §10 for the per-stage
+// contract); Value carries a stage-specific magnitude such as residual
+// energy after a SIC round or bytes put on the wire.
+type Stage struct {
+	Name  string  `json:"name"`
+	Dur   int64   `json:"dur"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// Span accumulates the stages of one traced segment. Obtain with
+// Tracer.Start, record with Stage, finish with End. A span is owned by one
+// goroutine at a time; the internal mutex makes the handoffs (gateway →
+// farm worker → reply sequencer) safe even when they race with an HTTP
+// snapshot of an ancestor.
+//
+// All methods are nil-safe: instrumented code calls them unconditionally
+// and a disabled tracer (nil) costs one predictable branch.
+type Span struct {
+	mu      sync.Mutex
+	tr      *Tracer
+	id      uint64
+	kind    string
+	start   int64
+	end     int64
+	n       int
+	dropped int
+	stages  [MaxStages]Stage
+}
+
+// TraceID returns the span's trace ID (0 for a nil span).
+func (sp *Span) TraceID() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.id
+}
+
+// Now reads the owning tracer's clock (0 for a nil span), so deep callees
+// can time stages without threading the tracer through every signature.
+func (sp *Span) Now() int64 {
+	if sp == nil || sp.tr == nil {
+		return 0
+	}
+	return sp.tr.Now()
+}
+
+// Stage appends one timed stage. Past MaxStages the stage is dropped and
+// counted, never grown — recording stays allocation-free.
+func (sp *Span) Stage(name string, dur int64, value float64) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.n < MaxStages {
+		sp.stages[sp.n] = Stage{Name: name, Dur: dur, Value: value}
+		sp.n++
+	} else {
+		sp.dropped++
+	}
+	sp.mu.Unlock()
+}
+
+// End stamps the span's end time, publishes it to the tracer's ring, and
+// recycles it. The span must not be used after End.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	tr := sp.tr
+	if tr == nil { // already ended
+		sp.mu.Unlock()
+		return
+	}
+	sp.end = tr.Now()
+	rec := spanRec{
+		id:      sp.id,
+		kind:    sp.kind,
+		start:   sp.start,
+		end:     sp.end,
+		n:       sp.n,
+		dropped: sp.dropped,
+		stages:  sp.stages,
+	}
+	sp.tr = nil
+	sp.mu.Unlock()
+	tr.record(rec)
+	tr.pool.Put(sp)
+}
+
+// spanRec is a finished span as stored in the tracer ring: plain values,
+// no mutex, copyable.
+type spanRec struct {
+	id      uint64
+	kind    string
+	start   int64
+	end     int64
+	n       int
+	dropped int
+	stages  [MaxStages]Stage
+}
+
+// SpanSnapshot is the JSON form of a finished span.
+type SpanSnapshot struct {
+	TraceID       uint64  `json:"trace_id"`
+	Kind          string  `json:"kind"`
+	Start         int64   `json:"start"`
+	End           int64   `json:"end"`
+	DroppedStages int     `json:"dropped_stages,omitempty"`
+	Stages        []Stage `json:"stages"`
+}
+
+// TraceSnapshot groups the spans that share a trace ID — in the
+// single-process example the gateway-side and cloud-side spans of one
+// segment merge into one trace here.
+type TraceSnapshot struct {
+	TraceID uint64         `json:"trace_id"`
+	Spans   []SpanSnapshot `json:"spans"`
+}
+
+// Tracer hands out spans and keeps the most recent finished ones in a
+// ring for /trace/recent. The zero clock is a deterministic step counter
+// (every Now call advances it by one), which keeps library code replayable
+// under the nondeterminism rule; commands inject the wall clock with
+// SetClock before starting traffic.
+type Tracer struct {
+	clock func() int64
+	seq   atomic.Int64
+	pool  sync.Pool
+
+	mu    sync.Mutex
+	ring  []spanRec
+	next  int
+	total uint64
+}
+
+// NewTracer builds a tracer whose ring keeps the last ringSize finished
+// spans (<= 0 means DefaultTraceRing).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]spanRec, ringSize)}
+}
+
+// SetClock replaces the deterministic step clock, typically with
+// func() int64 { return time.Now().UnixNano() }. Call before the tracer is
+// shared across goroutines.
+func (t *Tracer) SetClock(clock func() int64) {
+	if t != nil {
+		t.clock = clock
+	}
+}
+
+// Now reads the tracer clock (0 for a nil tracer).
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	if t.clock != nil {
+		return t.clock()
+	}
+	return t.seq.Add(1)
+}
+
+// Start opens a span of the given kind for trace id. Returns nil (a valid,
+// inert span) when the tracer is nil.
+func (t *Tracer) Start(kind string, id uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	sp, _ := t.pool.Get().(*Span)
+	if sp == nil {
+		sp = &Span{}
+	}
+	sp.mu.Lock()
+	sp.tr = t
+	sp.id = id
+	sp.kind = kind
+	sp.start = t.Now()
+	sp.end = 0
+	sp.n = 0
+	sp.dropped = 0
+	sp.mu.Unlock()
+	return sp
+}
+
+// record appends a finished span to the ring.
+func (t *Tracer) record(rec spanRec) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recent returns the ring's finished spans, oldest first, grouped into
+// traces by trace ID (groups ordered by each trace's oldest span).
+func (t *Tracer) Recent() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := int(t.total)
+	if t.total > uint64(len(t.ring)) {
+		n = len(t.ring)
+	}
+	recs := make([]spanRec, 0, n)
+	for i := 0; i < n; i++ {
+		// Oldest record first: when the ring has wrapped, t.next points at
+		// the oldest slot.
+		idx := i
+		if t.total > uint64(len(t.ring)) {
+			idx = (t.next + i) % len(t.ring)
+		}
+		recs = append(recs, t.ring[idx])
+	}
+	t.mu.Unlock()
+
+	var out []TraceSnapshot
+	byID := make(map[uint64]int, len(recs))
+	for _, rec := range recs {
+		snap := SpanSnapshot{
+			TraceID:       rec.id,
+			Kind:          rec.kind,
+			Start:         rec.start,
+			End:           rec.end,
+			DroppedStages: rec.dropped,
+			Stages:        append([]Stage(nil), rec.stages[:rec.n]...),
+		}
+		gi, ok := byID[rec.id]
+		if !ok {
+			gi = len(out)
+			out = append(out, TraceSnapshot{TraceID: rec.id})
+			byID[rec.id] = gi
+		}
+		out[gi].Spans = append(out[gi].Spans, snap)
+	}
+	return out
+}
+
+// SegmentTraceID derives a stable trace ID from a segment's absolute start
+// sample (splitmix64). The gateway and the cloud both see that offset —
+// it rides in the existing segment header — so the two sides of one
+// segment correlate into a single trace without any wire-format change.
+func SegmentTraceID(start int64) uint64 {
+	z := uint64(start) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ctxKey keys the span carried through a context.
+type ctxKey struct{}
+
+// ContextWithSpan attaches sp to ctx; a nil span returns ctx unchanged, so
+// disabled tracing allocates nothing.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

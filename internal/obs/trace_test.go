@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	t.Parallel()
+	var tr *Tracer
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer clock")
+	}
+	sp := tr.Start("gateway-segment", 1)
+	if sp != nil {
+		t.Fatal("nil tracer handed out a span")
+	}
+	sp.Stage("detect", 1, 0)
+	sp.End()
+	if sp.Now() != 0 || sp.TraceID() != 0 {
+		t.Fatal("nil span not inert")
+	}
+	if got := tr.Recent(); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+	if ctx := ContextWithSpan(context.Background(), nil); SpanFromContext(ctx) != nil {
+		t.Fatal("nil span attached to context")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(8)
+	id := SegmentTraceID(42)
+	sp := tr.Start("gateway-segment", id)
+	if sp.TraceID() != id {
+		t.Fatalf("trace id = %d, want %d", sp.TraceID(), id)
+	}
+	sp.Stage("detect", 5, 131072)
+	sp.Stage("encode_ship", 3, 2048)
+	sp.End()
+	sp.End() // double End must be harmless
+
+	traces := tr.Recent()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tc := traces[0]
+	if tc.TraceID != id || len(tc.Spans) != 1 {
+		t.Fatalf("trace = %+v", tc)
+	}
+	span := tc.Spans[0]
+	if span.Kind != "gateway-segment" || len(span.Stages) != 2 {
+		t.Fatalf("span = %+v", span)
+	}
+	if span.Stages[0].Name != "detect" || span.Stages[0].Dur != 5 {
+		t.Fatalf("stage 0 = %+v", span.Stages[0])
+	}
+	if span.End <= span.Start {
+		t.Fatalf("default step clock not monotonic: start=%d end=%d", span.Start, span.End)
+	}
+}
+
+func TestSpanGroupingByTraceID(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(8)
+	id := SegmentTraceID(7)
+	gw := tr.Start("gateway-segment", id)
+	gw.Stage("detect", 1, 0)
+	gw.End()
+	cl := tr.Start("cloud-segment", id)
+	cl.Stage("decode", 2, 0)
+	cl.End()
+	other := tr.Start("cloud-segment", SegmentTraceID(8))
+	other.End()
+
+	traces := tr.Recent()
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	if traces[0].TraceID != id || len(traces[0].Spans) != 2 {
+		t.Fatalf("merged trace = %+v", traces[0])
+	}
+	if traces[0].Spans[0].Kind != "gateway-segment" || traces[0].Spans[1].Kind != "cloud-segment" {
+		t.Fatalf("span order = %+v", traces[0].Spans)
+	}
+}
+
+func TestSpanStageCapDropsNotGrows(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(4)
+	sp := tr.Start("cloud-segment", 1)
+	for i := 0; i < MaxStages+10; i++ {
+		sp.Stage("sic_round", int64(i), 0)
+	}
+	sp.End()
+	span := tr.Recent()[0].Spans[0]
+	if len(span.Stages) != MaxStages {
+		t.Fatalf("stages = %d, want cap %d", len(span.Stages), MaxStages)
+	}
+	if span.DroppedStages != 10 {
+		t.Fatalf("dropped = %d, want 10", span.DroppedStages)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("gateway-segment", uint64(i+1))
+		sp.End()
+	}
+	traces := tr.Recent()
+	if len(traces) != 4 {
+		t.Fatalf("got %d traces, want ring size 4", len(traces))
+	}
+	// Oldest surviving span first: IDs 7, 8, 9, 10.
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if traces[i].TraceID != want {
+			t.Fatalf("trace %d id = %d, want %d", i, traces[i].TraceID, want)
+		}
+	}
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(4)
+	sp := tr.Start("cloud-segment", 3)
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFromContext(ctx); got != sp {
+		t.Fatal("span lost in context")
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Fatal("span from empty context")
+	}
+	sp.End()
+}
+
+func TestSegmentTraceIDStableAndDistinct(t *testing.T) {
+	t.Parallel()
+	if SegmentTraceID(1000) != SegmentTraceID(1000) {
+		t.Fatal("trace id not stable")
+	}
+	seen := map[uint64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		id := SegmentTraceID(i)
+		if seen[id] {
+			t.Fatalf("collision at start=%d", i)
+		}
+		seen[id] = true
+	}
+}
+
+// TestTracerConcurrent exercises concurrent span lifecycles against Recent
+// readers; meaningful under -race.
+func TestTracerConcurrent(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start("cloud-segment", SegmentTraceID(int64(w*1000+i)))
+				sp.Stage("decode", 1, 0)
+				sp.End()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Recent()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := len(tr.Recent()); got == 0 || got > 32 {
+		t.Fatalf("recent traces = %d", got)
+	}
+}
