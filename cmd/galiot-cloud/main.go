@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":7373", "TCP address to accept gateway sessions on")
-		dsss    = flag.Bool("dsss", false, "also decode the O-QPSK DSSS technology")
-		quiet   = flag.Bool("quiet", false, "suppress per-segment logs")
-		workers = flag.Int("workers", 4, "decode-farm worker count (0 decodes inline, one segment per session at a time)")
-		queue   = flag.Int("queue", 64, "decode-farm admission queue depth; beyond it v2 gateways get busy rejects")
-		obsAddr = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
+		listen         = flag.String("listen", ":7373", "TCP address to accept gateway sessions on")
+		dsss           = flag.Bool("dsss", false, "also decode the O-QPSK DSSS technology")
+		quiet          = flag.Bool("quiet", false, "suppress per-segment logs")
+		workers        = flag.Int("workers", 4, "decode-farm worker count (0 decodes inline, one segment per session at a time)")
+		queue          = flag.Int("queue", 64, "decode-farm admission queue depth; beyond it v2 gateways get busy rejects")
+		sessionTimeout = flag.Duration("session-timeout", 0, "reap sessions idle for this long (0 = never)")
+		obsAddr        = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 	if *workers > 0 {
 		svc.StartFarm(galiot.FarmConfig{Workers: *workers, QueueDepth: *queue})
 	}
-	srv := &galiot.CloudServer{Service: svc}
+	srv := &galiot.CloudServer{Service: svc, SessionTimeout: *sessionTimeout}
 	if err := srv.Listen(*listen); err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-cloud:", err)
 		os.Exit(1)

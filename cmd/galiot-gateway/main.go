@@ -4,6 +4,12 @@
 // universal preamble, optionally resolves uncollided ones at the edge, and
 // ships the rest to a galiot-cloud instance over TCP.
 //
+// The backhaul is resilient: a dropped connection is redialed with
+// exponential backoff (-retry bounds the consecutive attempts) and the
+// unacknowledged window is replayed, while detected segments keep flowing
+// into a bounded spool (-spool). When the spool overflows during an outage
+// the oldest segments fall back to a local edge-only decode.
+//
 // Usage (with galiot-cloud running):
 //
 //	galiot-gateway -cloud 127.0.0.1:7373 -seconds 5 -snr-min 5 -snr-max 15
@@ -13,9 +19,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"repro/galiot"
@@ -23,7 +31,12 @@ import (
 	"repro/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body, separated so the final metrics line and the stats
+// summary are emitted on every exit path — a gateway that gives up after
+// exhausting its retries still reports what it did first.
+func run() int {
 	var (
 		cloudAddr = flag.String("cloud", "127.0.0.1:7373", "address of the galiot-cloud service")
 		seconds   = flag.Float64("seconds", 2, "simulated airtime to generate")
@@ -34,7 +47,9 @@ func main() {
 		edge      = flag.Bool("edge", true, "resolve uncollided packets at the edge")
 		impaired  = flag.Bool("impaired", true, "use the RTL-SDR impairment model (vs ideal front-end)")
 		window    = flag.Int("window", 0, "max unacknowledged segments in flight on a v2 session (0 = default)")
-		protocol  = flag.Int("protocol", 0, "backhaul protocol version to offer (0 = latest; 1 = legacy request/reply)")
+		protocol  = flag.Int("protocol", 0, "backhaul protocol version to offer (0 = latest; 1 = legacy request/reply, no reconnect)")
+		retry     = flag.Int("retry", 0, "max consecutive reconnect attempts before giving up (0 = default)")
+		spool     = flag.Int("spool", 0, "segment spool capacity between detection and backhaul (0 = default)")
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
 	)
 	flag.Parse()
@@ -46,7 +61,7 @@ func main() {
 		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
 		if err := obsSrv.Start(*obsAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "galiot-gateway: obs server:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			if err := obsSrv.Close(); err != nil {
@@ -73,15 +88,8 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-gateway:", err)
-		os.Exit(1)
+		return 1
 	}
-
-	conn, err := net.Dial("tcp", *cloudAddr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "galiot-gateway: cloud unreachable:", err)
-		os.Exit(1)
-	}
-	defer conn.Close()
 
 	// Produce captures of ~0.25 s each until the requested airtime is done.
 	const captureLen = 1 << 18
@@ -109,26 +117,67 @@ func main() {
 		}
 	}()
 
+	// Reports arrive concurrently: cloud replies from the backhaul session
+	// and degraded-mode edge decodes from the spool's drop path.
+	var mu sync.Mutex
 	decoded := 0
-	err = gw.Run(conn, captures, func(r galiot.FramesReport) {
+	reports := func(r galiot.FramesReport) {
+		mu.Lock()
+		defer mu.Unlock()
 		for _, f := range r.Frames {
 			decoded++
 			log.Printf("cloud decoded %-5s @%-9d crc=%v payload=%x", f.Tech, f.Offset, f.CRCOK, f.Payload)
 		}
-	})
+	}
+	if *protocol == 1 {
+		// Legacy request/reply has no sequence acks to replay, so it runs
+		// over a single connection without the resilient client.
+		var conn net.Conn
+		conn, err = net.Dial("tcp", *cloudAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-gateway: cloud unreachable:", err)
+			return 1
+		}
+		defer conn.Close()
+		err = gw.Run(conn, captures, reports)
+	} else {
+		err = gw.RunResilient(galiot.GatewayResilient{
+			Dial: func() (io.ReadWriteCloser, error) {
+				return net.Dial("tcp", *cloudAddr)
+			},
+			Retry:         galiot.RetryPolicy{MaxAttempts: *retry, Seed: *seed},
+			SpoolCapacity: *spool,
+			Epoch:         uint64(time.Now().UnixNano()),
+		}, captures, reports)
+	}
+	exit := 0
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-gateway:", err)
-		os.Exit(1)
+		exit = 1
 	}
+
 	st := gw.Stats()
+	mu.Lock()
+	got := decoded
+	mu.Unlock()
 	log.Printf("gateway done: %d captures, %d detections, %d segments shipped (%d resolved at edge, %d edge frames)",
 		st.CapturesProcessed, st.Detections, st.SegmentsShipped, st.SegmentsResolved, st.EdgeFrames)
-	log.Printf("backhaul: %d wire bytes vs %d raw bytes (%.1f%% of raw); %d packets on air, %d decoded by cloud, %d at edge",
-		st.WireBytes, st.RawBytes, 100*float64(st.WireBytes)/float64(st.RawBytes), groundTruth, decoded, st.EdgeFrames)
+	log.Printf("backhaul: %d wire bytes vs %d raw bytes (%.1f%% of raw); %d packets on air, %d decoded, %d at edge",
+		st.WireBytes, st.RawBytes, 100*float64(st.WireBytes)/float64(st.RawBytes), groundTruth, got, st.EdgeFrames)
 	if st.BusyRejects > 0 || st.BadReports > 0 {
 		log.Printf("backhaul: %d segments rejected busy by the cloud, %d unparseable replies", st.BusyRejects, st.BadReports)
 	}
-	if data, err := json.Marshal(gw.Registry().Snapshot()); err == nil {
+	snap := reg.Snapshot()
+	if rc := snap.Counters["gateway_reconnects_total"]; rc > 0 || exit != 0 {
+		log.Printf("resilience: %d reconnects, %d segments dropped to degraded decode, %d replayed",
+			snap.Counters["gateway_reconnects_total"],
+			snap.Counters["gateway_spool_dropped_total"],
+			snap.Counters["gateway_replayed_segments_total"])
+	}
+	// The metrics line is the machine-readable exit summary; emit it on
+	// failure too so an aborted run still leaves its ledger behind.
+	if data, err := json.Marshal(snap); err == nil {
 		log.Printf("metrics: %s", data)
 	}
+	return exit
 }

@@ -20,10 +20,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -76,12 +78,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	conn, err := net.Dial("tcp", srv.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
-
 	// Simulated antenna: half a second of duty-cycled traffic with
 	// collisions.
 	gen := rng.New(2026)
@@ -106,8 +102,19 @@ func main() {
 		}
 	}()
 
+	// The resilient client dials the cloud itself and redials (replaying
+	// the unacked window) if the backhaul drops; the reports callback runs
+	// concurrently with the pipeline, so guard the counter.
+	var mu sync.Mutex
 	decoded := 0
-	if err := gw.Run(conn, captures, func(r galiot.FramesReport) {
+	if err := gw.RunResilient(galiot.GatewayResilient{
+		Dial: func() (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", srv.Addr().String())
+		},
+		Epoch: uint64(time.Now().UnixNano()),
+	}, captures, func(r galiot.FramesReport) {
+		mu.Lock()
+		defer mu.Unlock()
 		for _, f := range r.Frames {
 			decoded++
 			fmt.Printf("cloud -> %-5s @%-8d crc=%v payload=%x\n", f.Tech, f.Offset, f.CRCOK, f.Payload)
@@ -117,11 +124,14 @@ func main() {
 	}
 
 	st := gw.Stats()
+	mu.Lock()
+	got := decoded
+	mu.Unlock()
 	fmt.Printf("\n%d packets on air | %d detections | %d segments shipped | %d edge frames | %d cloud frames\n",
-		onAir, st.Detections, st.SegmentsShipped, st.EdgeFrames, decoded)
+		onAir, st.Detections, st.SegmentsShipped, st.EdgeFrames, got)
 	fmt.Printf("backhaul: %d wire bytes vs %d raw (%.1f%% of streaming everything)\n",
 		st.WireBytes, st.RawBytes, 100*float64(st.WireBytes)/float64(st.RawBytes))
-	if decoded+st.EdgeFrames == 0 {
+	if got+st.EdgeFrames == 0 {
 		log.Fatal("pipeline decoded nothing")
 	}
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/phy/oqpsk"
 	"repro/internal/phy/xbee"
 	"repro/internal/phy/zwave"
+	"repro/internal/resilience"
 )
 
 // Re-exported core types. The underlying packages carry the full
@@ -59,6 +60,12 @@ type (
 	GatewayConfig = gateway.Config
 	// GatewayResult is the outcome of processing one capture.
 	GatewayResult = gateway.Result
+	// GatewayResilient configures the reconnecting backhaul client
+	// (Gateway.RunResilient): redial policy, segment spool, deadlines.
+	GatewayResilient = gateway.Resilient
+	// RetryPolicy bounds and paces reconnect attempts with deterministic
+	// jittered exponential backoff.
+	RetryPolicy = resilience.RetryPolicy
 	// Cloud is the collision-decoding service.
 	Cloud = cloud.Service
 	// CloudServer is a TCP front for the Cloud service.

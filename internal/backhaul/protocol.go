@@ -5,7 +5,12 @@
 //
 // Framing: every message is [type:1][length:4 big-endian][payload]. Control
 // messages (hello, frames) are JSON; segment payloads are binary:
-// [startSample:8][sampleRate:8][scale:8][format:1][flate:1][data...].
+// [startSample:8][sampleRate:8][scale:8][format:1][flags:1][data...][crc32:4?].
+// The flags byte is a bitmask: bit 0 marks DEFLATE-compressed data, bit 1
+// marks a trailing IEEE CRC-32 over everything before it, so corruption on
+// the wire is detected at decode time instead of silently producing garbage
+// I/Q (the resilience layer relies on this: a corrupted segment fails loudly,
+// the session dies, and the reconnecting gateway replays it — see DESIGN.md §11).
 // The scale field records the per-segment gain applied before quantization
 // (digital AGC): samples are normalized so the peak rail sits just below
 // full scale, exactly as an SDR gain stage would, and the receiver undoes
@@ -18,6 +23,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -74,6 +80,13 @@ type Hello struct {
 	GatewayID  string   `json:"gateway_id"`
 	SampleRate float64  `json:"sample_rate"`
 	Techs      []string `json:"techs"`
+	// Epoch identifies one gateway process lifetime. A reconnecting gateway
+	// repeats the same nonzero epoch on every re-hello, letting the cloud
+	// recognize replayed segments from a connection flap (dedup by
+	// gateway+epoch+segment start) while a restarted gateway — new epoch —
+	// never collides with stale cache entries. Zero (the v1/v2 legacy value)
+	// disables dedup.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // HelloAck is the cloud's v2 reply to a hello: it confirms the session and
@@ -222,11 +235,18 @@ func (c *Conn) SendBye() error { return c.WriteMessage(MsgBye, nil) }
 type SegmentCodec struct {
 	Format   iq.Format // sample format on the wire (CU8 matches the RTL-SDR ADC)
 	Compress bool      // apply DEFLATE on top
+	Checksum bool      // append an IEEE CRC-32 trailer so wire corruption is detected
 }
 
+// Segment payload flag bits (payload byte 25).
+const (
+	flagFlate = 1 << 0
+	flagCRC   = 1 << 1
+)
+
 // DefaultCodec is what the paper's gateway effectively ships: 8-bit
-// quantized samples, compressed.
-var DefaultCodec = SegmentCodec{Format: iq.CU8, Compress: true}
+// quantized samples, compressed, with an integrity trailer.
+var DefaultCodec = SegmentCodec{Format: iq.CU8, Compress: true, Checksum: true}
 
 // Encode serializes a segment.
 func (sc SegmentCodec) Encode(seg Segment) ([]byte, error) {
@@ -271,16 +291,25 @@ func (sc SegmentCodec) Encode(seg Segment) ([]byte, error) {
 		// be incompressible).
 		if buf.Len() < len(raw) {
 			raw = buf.Bytes()
-			flag = 1
+			flag = flagFlate
 		}
 	}
-	out := make([]byte, 26+len(raw))
+	trailer := 0
+	if sc.Checksum {
+		flag |= flagCRC
+		trailer = 4
+	}
+	out := make([]byte, 26+len(raw)+trailer)
 	binary.BigEndian.PutUint64(out[0:], uint64(seg.Start))
 	binary.BigEndian.PutUint64(out[8:], math.Float64bits(seg.SampleRate))
 	binary.BigEndian.PutUint64(out[16:], math.Float64bits(scale))
 	out[24] = byte(sc.Format)
 	out[25] = flag
 	copy(out[26:], raw)
+	if sc.Checksum {
+		sum := crc32.ChecksumIEEE(out[:26+len(raw)])
+		binary.BigEndian.PutUint32(out[26+len(raw):], sum)
+	}
 	return out, nil
 }
 
@@ -289,6 +318,21 @@ func DecodeSegment(payload []byte) (Segment, error) {
 	if len(payload) < 26 {
 		return Segment{}, fmt.Errorf("backhaul: segment payload too short")
 	}
+	flags := payload[25]
+	if flags&^(flagFlate|flagCRC) != 0 {
+		return Segment{}, fmt.Errorf("backhaul: unknown segment flags %#02x", flags)
+	}
+	if flags&flagCRC != 0 {
+		if len(payload) < 30 {
+			return Segment{}, fmt.Errorf("backhaul: segment payload too short for checksum")
+		}
+		body := payload[:len(payload)-4]
+		want := binary.BigEndian.Uint32(payload[len(payload)-4:])
+		if got := crc32.ChecksumIEEE(body); got != want {
+			return Segment{}, fmt.Errorf("backhaul: segment checksum mismatch (got %#08x want %#08x)", got, want)
+		}
+		payload = body
+	}
 	start := int64(binary.BigEndian.Uint64(payload[0:]))
 	rate := math.Float64frombits(binary.BigEndian.Uint64(payload[8:]))
 	scale := math.Float64frombits(binary.BigEndian.Uint64(payload[16:]))
@@ -296,7 +340,7 @@ func DecodeSegment(payload []byte) (Segment, error) {
 		return Segment{}, fmt.Errorf("backhaul: invalid segment scale %v", scale)
 	}
 	format := iq.Format(payload[24])
-	compressed := payload[25] == 1
+	compressed := flags&flagFlate != 0
 	data := payload[26:]
 	if compressed {
 		r := flate.NewReader(bytes.NewReader(data))

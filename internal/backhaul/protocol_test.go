@@ -107,6 +107,8 @@ func TestSegmentCodecRoundTrip(t *testing.T) {
 		{Format: iq.CU8, Compress: true},
 		{Format: iq.CS16, Compress: true},
 		{Format: iq.CF32, Compress: false},
+		{Format: iq.CU8, Compress: true, Checksum: true},
+		{Format: iq.CS16, Compress: false, Checksum: true},
 	} {
 		seg := Segment{Start: 123456, SampleRate: 1e6, Samples: samples}
 		payload, err := sc.Encode(seg)
@@ -325,5 +327,65 @@ func TestOverTCPLikePipe(t *testing.T) {
 	}
 	if err := <-done; err != nil && err != io.EOF {
 		t.Fatal(err)
+	}
+}
+
+func TestSegmentChecksumDetectsCorruption(t *testing.T) {
+	gen := rng.New(3)
+	samples := make([]complex128, 2000)
+	for i := range samples {
+		samples[i] = complex(gen.NormFloat64()*0.2, gen.NormFloat64()*0.2)
+	}
+	sc := SegmentCodec{Format: iq.CU8, Compress: true, Checksum: true}
+	payload, err := sc.Encode(Segment{Start: 7, SampleRate: 1e6, Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[25]&2 == 0 {
+		t.Fatal("checksum flag bit not set")
+	}
+	if _, err := DecodeSegment(payload); err != nil {
+		t.Fatalf("clean payload must decode: %v", err)
+	}
+	// Flipping any byte — header, data, or the trailer itself — must be caught.
+	for _, idx := range []int{0, 12, 24, 26, len(payload) / 2, len(payload) - 5, len(payload) - 1} {
+		bad := append([]byte(nil), payload...)
+		bad[idx] ^= 0x40
+		if _, err := DecodeSegment(bad); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", idx)
+		}
+	}
+}
+
+func TestSegmentUnknownFlagsRejected(t *testing.T) {
+	sc := SegmentCodec{Format: iq.CU8}
+	payload, err := sc.Encode(Segment{Start: 1, SampleRate: 1e6, Samples: make([]complex128, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[25] |= 0x80
+	if _, err := DecodeSegment(payload); err == nil {
+		t.Fatal("unknown flag bits should be rejected")
+	}
+}
+
+func TestHelloEpochRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.SendHello(Hello{Version: Version, GatewayID: "gw-1", SampleRate: 1e6, Epoch: 0xDEADBEEF}); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHello(payload)
+	if err != nil || h.Epoch != 0xDEADBEEF {
+		t.Fatalf("epoch lost in transit: %v epoch=%d", err, h.Epoch)
+	}
+	// Legacy hellos without the field parse as epoch 0 (dedup disabled).
+	h2, err := ParseHello([]byte(`{"version":2,"gateway_id":"old"}`))
+	if err != nil || h2.Epoch != 0 {
+		t.Fatalf("legacy hello: %v epoch=%d", err, h2.Epoch)
 	}
 }

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"sync"
 
 	"repro/internal/backhaul"
@@ -39,6 +38,8 @@ type Service struct {
 	pool *farm.DecoderPool
 	farm *farm.Farm
 
+	dedup dedupCache
+
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	m      cloudMetrics
@@ -56,6 +57,7 @@ type cloudMetrics struct {
 	killCodes  *obs.Counter            // cloud_kill_codes_total
 	failed     *obs.Counter            // cloud_failed_decode_total
 	duplicates *obs.Counter            // cloud_duplicates_total
+	deduped    *obs.Counter            // cloud_segments_deduped_total
 	techFrames map[string]*obs.Counter // per-technology decoded frames
 }
 
@@ -69,6 +71,7 @@ func newCloudMetrics(reg *obs.Registry, techs []phy.Technology) cloudMetrics {
 		killCodes:  reg.Counter("cloud_kill_codes_total"),
 		failed:     reg.Counter("cloud_failed_decode_total"),
 		duplicates: reg.Counter("cloud_duplicates_total"),
+		deduped:    reg.Counter("cloud_segments_deduped_total"),
 		techFrames: make(map[string]*obs.Counter, len(techs)),
 	}
 	for _, t := range techs {
@@ -211,6 +214,7 @@ type session struct {
 	conn    *backhaul.Conn
 	version int
 	ctx     context.Context
+	dedup   *sessionDedup // nil when the hello carried no epoch
 
 	seqr farm.Sequencer
 	wmu  sync.Mutex // guards writeErr (writes themselves serialize in seqr)
@@ -280,6 +284,12 @@ func (s *Service) ServeConn(rw io.ReadWriter) error {
 	ctx, cancelSession := context.WithCancel(context.Background())
 	defer cancelSession()
 	ss := &session{svc: s, conn: conn, version: version, ctx: ctx}
+	if hello.Epoch != 0 {
+		// An epoch-bearing gateway replays its unacked window after every
+		// reconnect; remembering decoded reports per (gateway, epoch,
+		// start) answers those replays without re-decoding.
+		ss.dedup = &sessionDedup{c: &s.dedup, gateway: hello.GatewayID, epoch: hello.Epoch}
+	}
 	for {
 		typ, payload, err := conn.ReadMessage()
 		if err != nil {
@@ -334,8 +344,31 @@ func (ss *session) handleSegment(f *farm.Farm, seq uint64, sequenced bool, seg b
 	// so /trace/recent shows one merged detect→decode trace.
 	sp := ss.svc.tracer.Start("cloud-segment", obs.SegmentTraceID(seg.Start))
 	ctx := obs.ContextWithSpan(ss.ctx, sp)
+	if ss.dedup != nil {
+		if rep, ok := ss.dedup.get(seg.Start); ok {
+			// Replay of an already-decoded segment (same gateway, same
+			// epoch): answer from cache so it is decoded exactly once.
+			ss.svc.m.deduped.Inc()
+			sp.Stage("dedup_hit", 0, float64(len(rep.Frames)))
+			if f == nil {
+				rep.Seq = seq
+				err := ss.conn.SendFrames(rep)
+				sp.End()
+				return err
+			}
+			slot := ss.seqr.Reserve()
+			ss.seqr.Deliver(slot, func() {
+				ss.reply(seq, sequenced, seg, farm.Result{Report: rep})
+				sp.End()
+			})
+			return nil
+		}
+	}
 	if f == nil {
 		report, _, _ := ss.svc.decodeSegment(ctx, seg)
+		if ss.dedup != nil {
+			ss.dedup.put(seg.Start, report)
+		}
 		report.Seq = seq
 		err := ss.conn.SendFrames(report)
 		sp.End()
@@ -343,6 +376,9 @@ func (ss *session) handleSegment(f *farm.Farm, seq uint64, sequenced bool, seg b
 	}
 	slot := ss.seqr.Reserve()
 	deliver := func(res farm.Result) {
+		if res.Err == nil && ss.dedup != nil {
+			ss.dedup.put(seg.Start, res.Report)
+		}
 		ss.seqr.Deliver(slot, func() {
 			ss.reply(seq, sequenced, seg, res)
 			sp.End()
@@ -385,62 +421,6 @@ func (ss *session) reply(seq uint64, sequenced bool, seg backhaul.Segment, res f
 		res.Report.Seq = seq
 		ss.setWriteErr(ss.conn.SendFrames(res.Report))
 	}
-}
-
-// Server is a TCP front for a Service.
-type Server struct {
-	Service *Service
-	ln      net.Listener
-	wg      sync.WaitGroup
-}
-
-// Listen starts accepting gateway connections on addr ("host:port";
-// ":0" picks a free port). Use Addr to discover the bound address.
-func (s *Server) Listen(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	s.ln = ln
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				defer conn.Close()
-				if err := s.Service.ServeConn(conn); err != nil && s.Service.Logf != nil {
-					s.Service.Logf("session error: %v", err)
-				}
-			}()
-		}
-	}()
-	return nil
-}
-
-// Addr returns the listener's address, or nil before Listen.
-func (s *Server) Addr() net.Addr {
-	if s.ln == nil {
-		return nil
-	}
-	return s.ln.Addr()
-}
-
-// Close stops the listener and waits for in-flight sessions; every segment
-// admitted by those sessions has been answered when it returns. It does
-// not drain the decode farm itself — call Service.Close after.
-func (s *Server) Close() error {
-	if s.ln == nil {
-		return nil
-	}
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
 }
 
 // StdLogf adapts the standard logger for Service.Logf.

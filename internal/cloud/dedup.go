@@ -1,0 +1,79 @@
+package cloud
+
+import (
+	"sync"
+
+	"repro/internal/backhaul"
+)
+
+// DefaultDedupCapacity bounds the replay-deduplication cache: the number
+// of decoded segment reports remembered across all gateways and epochs.
+const DefaultDedupCapacity = 4096
+
+// dedupKey identifies one decoded segment for replay deduplication. The
+// gateway's epoch is part of the key so a restarted gateway (new epoch)
+// re-decodes everything, while a reconnecting one (same epoch) gets its
+// replayed window answered from cache.
+type dedupKey struct {
+	gateway string
+	epoch   uint64
+	start   int64
+}
+
+// dedupCache is a bounded FIFO map from decoded segments to their frames
+// reports. A reconnecting v2 gateway replays its unacknowledged window
+// after every flap; serving those replays from cache keeps the decode farm
+// off the hook and guarantees each segment is decoded exactly once per
+// epoch. Eviction is oldest-insertion-first via a fixed ring, so the cache
+// never grows past its capacity no matter how long the service runs.
+type dedupCache struct {
+	mu   sync.Mutex
+	size int
+	m    map[dedupKey]backhaul.FramesReport
+	ring []dedupKey
+	next int // ring slot of the next insert; when full, also the oldest key
+}
+
+func (c *dedupCache) get(k dedupKey) (backhaul.FramesReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, ok := c.m[k]
+	return rep, ok
+}
+
+func (c *dedupCache) put(k dedupKey, rep backhaul.FramesReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.size <= 0 {
+		c.size = DefaultDedupCapacity
+	}
+	if c.m == nil {
+		c.m = make(map[dedupKey]backhaul.FramesReport, c.size)
+		c.ring = make([]dedupKey, c.size)
+	}
+	if _, ok := c.m[k]; ok {
+		return
+	}
+	if len(c.m) == c.size {
+		delete(c.m, c.ring[c.next])
+	}
+	c.ring[c.next] = k
+	c.m[k] = rep
+	c.next = (c.next + 1) % c.size
+}
+
+// sessionDedup is the cache scoped to one session's gateway identity and
+// epoch. Nil when the gateway's hello carried no epoch (dedup disabled).
+type sessionDedup struct {
+	c       *dedupCache
+	gateway string
+	epoch   uint64
+}
+
+func (d *sessionDedup) get(start int64) (backhaul.FramesReport, bool) {
+	return d.c.get(dedupKey{gateway: d.gateway, epoch: d.epoch, start: start})
+}
+
+func (d *sessionDedup) put(start int64, rep backhaul.FramesReport) {
+	d.c.put(dedupKey{gateway: d.gateway, epoch: d.epoch, start: start}, rep)
+}

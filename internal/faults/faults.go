@@ -1,0 +1,305 @@
+// Package faults wraps a net.Conn with deterministic fault injection: a
+// seeded schedule of byte-offset-triggered events — delays, stalls, single
+// byte corruption, and mid-frame connection closes — applied as traffic
+// flows through the wrapper.
+//
+// Events fire at byte offsets rather than at wall-clock times, which is
+// what makes chaos runs reproducible: the same schedule against the same
+// traffic corrupts the same byte and kills the connection after the same
+// prefix regardless of scheduler or network timing. The chaos soak in
+// internal/gateway drives the full gateway↔cloud pipeline through
+// GenSchedule-produced plans and asserts exact recovery; see DESIGN.md §11
+// for the schedule format.
+package faults
+
+import (
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Dir selects which half of the conn an event applies to.
+type Dir uint8
+
+const (
+	// DirWrite triggers on bytes written through the wrapper.
+	DirWrite Dir = iota
+	// DirRead triggers on bytes read through the wrapper.
+	DirRead
+)
+
+// Op is the kind of fault an event injects.
+type Op uint8
+
+const (
+	// OpDelay sleeps Dur before continuing — models transient latency.
+	OpDelay Op = iota
+	// OpStall sleeps Dur like OpDelay but is generated with longer
+	// durations, intended to trip I/O deadlines on the peer.
+	OpStall
+	// OpCorrupt XORs the byte at Offset with Mask — models line noise.
+	OpCorrupt
+	// OpClose closes the underlying conn once Offset bytes have passed —
+	// models a mid-frame connection drop.
+	OpClose
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpDelay:
+		return "delay"
+	case OpStall:
+		return "stall"
+	case OpCorrupt:
+		return "corrupt"
+	case OpClose:
+		return "close"
+	}
+	return "unknown"
+}
+
+// Event is one scheduled fault. Offset counts bytes through the wrapper in
+// the event's direction since the conn was wrapped; the event fires when
+// the stream reaches that offset. Mask is the corruption XOR (0 is treated
+// as 0xFF so a corrupt event can never be a no-op).
+type Event struct {
+	Dir    Dir
+	Op     Op
+	Offset int64
+	Dur    time.Duration
+	Mask   byte
+}
+
+// Plan is the ordered set of events for one connection's lifetime.
+type Plan struct {
+	Events []Event
+}
+
+// ErrInjected is returned from Read/Write when an OpClose event fires.
+var ErrInjected = errors.New("faults: injected connection close")
+
+// Conn wraps a net.Conn and applies a Plan. Read and Write may be used
+// from different goroutines (each direction has its own lock and cursor),
+// matching how the backhaul uses a conn.
+type Conn struct {
+	inner net.Conn
+
+	wmu    sync.Mutex
+	wev    []Event
+	wnext  int
+	woff   int64
+	closed bool
+
+	rmu   sync.Mutex
+	rev   []Event
+	rnext int
+	roff  int64
+}
+
+// NewConn wraps inner with the plan. Events are applied in byte-offset
+// order within each direction; equal offsets keep plan order.
+func NewConn(inner net.Conn, plan Plan) *Conn {
+	c := &Conn{inner: inner}
+	for _, ev := range plan.Events {
+		if ev.Dir == DirWrite {
+			c.wev = append(c.wev, ev)
+		} else {
+			c.rev = append(c.rev, ev)
+		}
+	}
+	sort.SliceStable(c.wev, func(i, j int) bool { return c.wev[i].Offset < c.wev[j].Offset })
+	sort.SliceStable(c.rev, func(i, j int) bool { return c.rev[i].Offset < c.rev[j].Offset })
+	return c
+}
+
+func mask(m byte) byte {
+	if m == 0 {
+		return 0xFF
+	}
+	return m
+}
+
+// Write pushes p through the fault schedule: chunks before each pending
+// event pass through untouched, corrupt events flip one byte, delay/stall
+// events sleep, and a close event shuts the inner conn mid-stream and
+// returns ErrInjected.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	written := 0
+	for written < len(p) {
+		var ev *Event
+		if c.wnext < len(c.wev) {
+			ev = &c.wev[c.wnext]
+		}
+		if ev == nil || ev.Offset >= c.woff+int64(len(p)-written) {
+			n, err := c.inner.Write(p[written:])
+			c.woff += int64(n)
+			return written + n, err
+		}
+		pre := int(ev.Offset - c.woff)
+		if pre < 0 {
+			pre = 0
+		}
+		if pre > 0 {
+			n, err := c.inner.Write(p[written : written+pre])
+			c.woff += int64(n)
+			written += n
+			if err != nil {
+				return written, err
+			}
+		}
+		c.wnext++
+		switch ev.Op {
+		case OpDelay, OpStall:
+			if ev.Dur > 0 {
+				time.Sleep(ev.Dur)
+			}
+		case OpCorrupt:
+			b := [1]byte{p[written] ^ mask(ev.Mask)}
+			n, err := c.inner.Write(b[:])
+			c.woff += int64(n)
+			written += n
+			if err != nil {
+				return written, err
+			}
+		case OpClose:
+			c.closed = true
+			_ = c.inner.Close()
+			return written, ErrInjected
+		}
+	}
+	return written, nil
+}
+
+// Read pulls from the inner conn and applies read-direction events to the
+// returned chunk: corrupt flips a byte in place, close truncates the chunk
+// at the event offset and shuts the conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	if n == 0 {
+		return n, err
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	end := c.roff + int64(n)
+	for c.rnext < len(c.rev) && c.rev[c.rnext].Offset < end {
+		ev := c.rev[c.rnext]
+		c.rnext++
+		idx := int(ev.Offset - c.roff)
+		if idx < 0 {
+			idx = 0
+		}
+		switch ev.Op {
+		case OpDelay, OpStall:
+			if ev.Dur > 0 {
+				time.Sleep(ev.Dur)
+			}
+		case OpCorrupt:
+			p[idx] ^= mask(ev.Mask)
+		case OpClose:
+			_ = c.inner.Close()
+			c.roff = ev.Offset
+			if idx == 0 {
+				return 0, ErrInjected
+			}
+			return idx, nil
+		}
+	}
+	c.roff = end
+	return n, err
+}
+
+// Close closes the inner conn.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the inner conn's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the inner conn's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline delegates to the inner conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline delegates to the inner conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the inner conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Schedule is a sequence of per-connection plans: connection attempt i of
+// a reconnecting client gets Plans[i]; attempts beyond the schedule run
+// fault-free. Faulty() reports how many plans will kill their connection,
+// which a chaos test compares against gateway_reconnects_total.
+type Schedule struct {
+	Plans []Plan
+}
+
+// Wrap applies plan i to conn, or returns conn unchanged once the
+// schedule is exhausted (or the plan is empty).
+func (s Schedule) Wrap(i int, conn net.Conn) net.Conn {
+	if i < 0 || i >= len(s.Plans) || len(s.Plans[i].Events) == 0 {
+		return conn
+	}
+	return NewConn(conn, s.Plans[i])
+}
+
+// Faulty counts plans containing an OpClose — i.e. connections the
+// schedule guarantees to kill exactly once.
+func (s Schedule) Faulty() int {
+	n := 0
+	for _, p := range s.Plans {
+		for _, ev := range p.Events {
+			if ev.Op == OpClose {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// GenSchedule builds a deterministic schedule of `flaps` connection-killing
+// plans from the seed. Every plan targets the write direction and ends in
+// an OpClose; variants prepend corruption and/or a short delay. minOffset
+// keeps faults clear of the hello exchange at the head of each connection,
+// and spread bounds how far past minOffset the first fault may land. When
+// a corrupt event is generated, the close follows within 64 bytes, so a
+// corrupted connection always dies before the peer can act on a whole
+// corrupted frame — that is what makes reconnect counts exactly equal to
+// the flap count.
+func GenSchedule(seed uint64, flaps int, minOffset, spread int64) Schedule {
+	if spread < 1 {
+		spread = 1
+	}
+	root := rng.New(seed)
+	var s Schedule
+	for i := 0; i < flaps; i++ {
+		g := root.Split(uint64(i))
+		off := minOffset + int64(g.Intn(int(spread)))
+		m := byte(1 + g.Intn(255))
+		var evs []Event
+		switch g.Intn(3) {
+		case 0: // clean mid-frame close
+			evs = []Event{{Dir: DirWrite, Op: OpClose, Offset: off}}
+		case 1: // corrupt then close shortly after
+			evs = []Event{
+				{Dir: DirWrite, Op: OpCorrupt, Offset: off, Mask: m},
+				{Dir: DirWrite, Op: OpClose, Offset: off + 16 + int64(g.Intn(48))},
+			}
+		default: // brief delay, corrupt, then close
+			evs = []Event{
+				{Dir: DirWrite, Op: OpDelay, Offset: off, Dur: time.Duration(1+g.Intn(3)) * time.Millisecond},
+				{Dir: DirWrite, Op: OpCorrupt, Offset: off + int64(g.Intn(16)), Mask: m},
+				{Dir: DirWrite, Op: OpClose, Offset: off + 16 + int64(g.Intn(48))},
+			}
+		}
+		s.Plans = append(s.Plans, Plan{Events: evs})
+	}
+	return s
+}

@@ -1,0 +1,266 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// pump reads everything from r until error, returning the bytes received.
+func pump(t *testing.T, r net.Conn, done chan<- []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	_, _ = io.Copy(&buf, r)
+	done <- buf.Bytes()
+}
+
+func TestConnWriteCorruptThenClose(t *testing.T) {
+	t.Parallel()
+	a, b := net.Pipe()
+	plan := Plan{Events: []Event{
+		{Dir: DirWrite, Op: OpCorrupt, Offset: 3, Mask: 0x0F},
+		{Dir: DirWrite, Op: OpClose, Offset: 7},
+	}}
+	fc := NewConn(a, plan)
+	done := make(chan []byte, 1)
+	go pump(t, b, done)
+
+	data := []byte("0123456789")
+	n, err := fc.Write(data)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write err = %v, want ErrInjected", err)
+	}
+	if n != 7 {
+		t.Fatalf("Write n = %d, want 7 (bytes before the close)", n)
+	}
+	got := <-done
+	want := []byte("0123456")
+	want[3] ^= 0x0F
+	if !bytes.Equal(got, want) {
+		t.Fatalf("peer received %q, want %q", got, want)
+	}
+}
+
+func TestConnWriteAcrossChunks(t *testing.T) {
+	t.Parallel()
+	a, b := net.Pipe()
+	plan := Plan{Events: []Event{
+		{Dir: DirWrite, Op: OpDelay, Offset: 2, Dur: 0},
+		{Dir: DirWrite, Op: OpCorrupt, Offset: 5, Mask: 0xFF},
+	}}
+	fc := NewConn(a, plan)
+	done := make(chan []byte, 1)
+	go pump(t, b, done)
+
+	// Write one byte at a time: events must still fire at absolute offsets.
+	data := []byte("abcdefgh")
+	for i := range data {
+		if _, err := fc.Write(data[i : i+1]); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	fc.Close()
+	got := <-done
+	want := append([]byte(nil), data...)
+	want[5] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatalf("peer received %q, want %q", got, want)
+	}
+}
+
+func TestConnReadCorruptAndClose(t *testing.T) {
+	t.Parallel()
+	a, b := net.Pipe()
+	plan := Plan{Events: []Event{
+		{Dir: DirRead, Op: OpCorrupt, Offset: 1, Mask: 0x01},
+		{Dir: DirRead, Op: OpClose, Offset: 4},
+	}}
+	fc := NewConn(b, plan)
+	go func() {
+		_, _ = a.Write([]byte("ABCDEFGH"))
+	}()
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := fc.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+		if len(got) >= 4 {
+			break
+		}
+	}
+	want := []byte("ABCD")
+	want[1] ^= 0x01
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q (corrupted, truncated at close)", got, want)
+	}
+}
+
+func TestGenScheduleDeterministicAndWellFormed(t *testing.T) {
+	t.Parallel()
+	const flaps, minOff, spread = 8, 600, 3000
+	s1 := GenSchedule(99, flaps, minOff, spread)
+	s2 := GenSchedule(99, flaps, minOff, spread)
+	if len(s1.Plans) != flaps || len(s2.Plans) != flaps {
+		t.Fatalf("plan counts %d/%d, want %d", len(s1.Plans), len(s2.Plans), flaps)
+	}
+	if s1.Faulty() != flaps {
+		t.Fatalf("Faulty() = %d, want %d (every plan must kill its conn)", s1.Faulty(), flaps)
+	}
+	for i := range s1.Plans {
+		p1, p2 := s1.Plans[i], s2.Plans[i]
+		if len(p1.Events) != len(p2.Events) {
+			t.Fatalf("plan %d: lengths differ", i)
+		}
+		closes := 0
+		var closeOff int64
+		for j := range p1.Events {
+			if p1.Events[j] != p2.Events[j] {
+				t.Fatalf("plan %d event %d: same seed diverged: %+v vs %+v", i, j, p1.Events[j], p2.Events[j])
+			}
+			ev := p1.Events[j]
+			if ev.Dir != DirWrite {
+				t.Fatalf("plan %d event %d: dir %v, want write", i, j, ev.Dir)
+			}
+			if ev.Offset < minOff {
+				t.Fatalf("plan %d event %d: offset %d below minOffset %d", i, j, ev.Offset, minOff)
+			}
+			if ev.Op == OpClose {
+				closes++
+				closeOff = ev.Offset
+			}
+			if ev.Op == OpCorrupt && ev.Mask == 0 {
+				t.Fatalf("plan %d: zero corruption mask", i)
+			}
+		}
+		if closes != 1 {
+			t.Fatalf("plan %d: %d closes, want exactly 1", i, closes)
+		}
+		for _, ev := range p1.Events {
+			if ev.Op == OpCorrupt && closeOff-ev.Offset > 64 {
+				t.Fatalf("plan %d: close at %d more than 64 bytes after corrupt at %d", i, closeOff, ev.Offset)
+			}
+		}
+	}
+	// A different seed must produce a different schedule.
+	s3 := GenSchedule(100, flaps, minOff, spread)
+	same := true
+	for i := range s1.Plans {
+		if len(s1.Plans[i].Events) != len(s3.Plans[i].Events) {
+			same = false
+			break
+		}
+		for j := range s1.Plans[i].Events {
+			if s1.Plans[i].Events[j] != s3.Plans[i].Events[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleWrapPastEnd(t *testing.T) {
+	t.Parallel()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	s := GenSchedule(1, 2, 10, 10)
+	if got := s.Wrap(2, a); got != net.Conn(a) {
+		t.Fatal("Wrap past the schedule should return the conn unchanged")
+	}
+	if got := s.Wrap(-1, a); got != net.Conn(a) {
+		t.Fatal("Wrap with negative index should return the conn unchanged")
+	}
+	if got := s.Wrap(0, a); got == net.Conn(a) {
+		t.Fatal("Wrap within the schedule should wrap")
+	}
+}
+
+// FuzzFaultsConn drives random data through a random write-direction plan
+// over a net.Pipe and asserts the peer observes exactly the simulated
+// corrupted/truncated prefix — i.e. fault application is a pure function
+// of (plan, data), independent of write chunking.
+func FuzzFaultsConn(f *testing.F) {
+	f.Add(uint64(1), []byte("hello fault injection, have some bytes"))
+	f.Add(uint64(7), bytes.Repeat([]byte{0xA5}, 256))
+	f.Add(uint64(42), []byte{0})
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
+		if len(data) == 0 || len(data) > 1<<16 {
+			return
+		}
+		g := rng.New(seed)
+		// Build 1–3 events at strictly increasing offsets.
+		var evs []Event
+		off := int64(g.Intn(8))
+		n := 1 + g.Intn(3)
+		for i := 0; i < n; i++ {
+			var ev Event
+			ev.Dir = DirWrite
+			ev.Offset = off
+			switch g.Intn(3) {
+			case 0:
+				ev.Op = OpDelay // Dur 0: control-flow only
+			case 1:
+				ev.Op = OpCorrupt
+				ev.Mask = byte(g.Intn(256)) // 0 exercises the 0xFF fallback
+			default:
+				ev.Op = OpClose
+			}
+			evs = append(evs, ev)
+			off += 1 + int64(g.Intn(16))
+		}
+
+		// Simulate the expected peer view.
+		want := append([]byte(nil), data...)
+		truncated := false
+		for _, ev := range evs {
+			if ev.Offset >= int64(len(want)) {
+				break
+			}
+			switch ev.Op {
+			case OpCorrupt:
+				want[ev.Offset] ^= mask(ev.Mask)
+			case OpClose:
+				want = want[:ev.Offset]
+				truncated = true
+			}
+			if truncated {
+				break
+			}
+		}
+
+		a, b := net.Pipe()
+		fc := NewConn(a, Plan{Events: evs})
+		done := make(chan []byte, 1)
+		go pump(t, b, done)
+
+		// Vary chunking from the same stream to exercise offset tracking.
+		var werr error
+		sent := 0
+		for sent < len(data) && werr == nil {
+			chunk := 1 + g.Intn(32)
+			if sent+chunk > len(data) {
+				chunk = len(data) - sent
+			}
+			var n int
+			n, werr = fc.Write(data[sent : sent+chunk])
+			sent += n
+		}
+		fc.Close()
+		got := <-done
+		if !bytes.Equal(got, want) {
+			t.Fatalf("peer received %d bytes %x, want %d bytes %x (events %+v)", len(got), got, len(want), want, evs)
+		}
+		if truncated && !errors.Is(werr, ErrInjected) {
+			t.Fatalf("close fired but writer error = %v", werr)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backhaul"
+	"repro/internal/cloud"
+	"repro/internal/farm"
+	"repro/internal/faults"
+	"repro/internal/frontend"
+)
+
+// chaosRun drives RunResilient over chaosSegments captures against a fresh
+// farm-backed cloud, wrapping each dialed connection with the fault
+// schedule (nil = fault-free control). It returns the gateway, the cloud
+// service, and the reports the gateway delivered.
+const chaosSegments = 8
+
+func chaosRun(t *testing.T, sched *faults.Schedule, epoch uint64) (*Gateway, *cloud.Service, []backhaul.FramesReport) {
+	t.Helper()
+	ts := resTechs()
+	g, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := cloud.NewService(ts)
+	svc.StartFarm(farm.Config{Workers: 2, QueueDepth: 8})
+	defer svc.Close()
+
+	captures := make(chan []complex128, chaosSegments)
+	for i := 0; i < chaosSegments; i++ {
+		tech := ts[i%len(ts)]
+		captures <- techCapture(t, tech, uint64(90+i), []byte(fmt.Sprintf("chaos packet %d", i)))
+	}
+	close(captures)
+
+	dials := 0
+	dial := func() (io.ReadWriteCloser, error) {
+		a, b := net.Pipe()
+		go func() {
+			// Session errors are expected on faulted connections; the
+			// assertions below check the decode ledger instead.
+			//lint:ignore errdrop faulted sessions fail by design, the decode counters are the contract
+			_ = svc.ServeConn(b)
+		}()
+		var rwc io.ReadWriteCloser = a
+		if sched != nil {
+			rwc = sched.Wrap(dials, a)
+		}
+		dials++
+		return rwc, nil
+	}
+
+	var mu sync.Mutex
+	var reports []backhaul.FramesReport
+	err = g.RunResilient(Resilient{
+		Dial:  dial,
+		Retry: resiliencePolicy(time.Millisecond),
+		Epoch: epoch,
+	}, captures, func(r backhaul.FramesReport) {
+		mu.Lock()
+		reports = append(reports, r)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, svc, reports
+}
+
+// payloadSet flattens the CRC-clean frame payloads of a run, sorted.
+func payloadSet(reports []backhaul.FramesReport) []string {
+	var out []string
+	for _, r := range reports {
+		for _, f := range r.Frames {
+			if f.CRCOK {
+				out = append(out, string(f.Payload))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestChaosSoak runs the full resilient gateway↔cloud pipeline twice over
+// identical traffic: once fault-free, once through a seeded fault injector
+// that corrupts and kills the backhaul mid-frame on six consecutive
+// connections. The chaos run must recover every packet the control run
+// recovered, reconnect exactly as many times as the schedule kills, drop
+// nothing, and get every segment decoded exactly once by the cloud.
+func TestChaosSoak(t *testing.T) {
+	// Control: no faults — zero reconnects, zero drops, every segment
+	// decoded exactly once.
+	g0, svc0, rep0 := chaosRun(t, nil, 3)
+	if got := counter(t, g0, "gateway_reconnects_total"); got != 0 {
+		t.Fatalf("control reconnects = %d, want 0", got)
+	}
+	if got := counter(t, g0, "gateway_spool_dropped_total"); got != 0 {
+		t.Fatalf("control drops = %d, want 0", got)
+	}
+	if got := counter(t, g0, "gateway_dial_attempts_total"); got != 1 {
+		t.Fatalf("control dials = %d, want 1", got)
+	}
+	if got := svc0.Registry().Counter("cloud_segments_decoded_total").Value(); got != chaosSegments {
+		t.Fatalf("control cloud decodes = %d, want %d", got, chaosSegments)
+	}
+	control := payloadSet(rep0)
+	if len(control) != chaosSegments {
+		t.Fatalf("control recovered %d packets, want %d: %v", len(control), chaosSegments, control)
+	}
+
+	// Chaos: six consecutive connections die mid-frame (one corrupted
+	// first), starting past the hello so every session establishes.
+	sched := faults.GenSchedule(11, 6, 600, 3000)
+	if sched.Faulty() != 6 {
+		t.Fatalf("schedule kills %d connections, want 6", sched.Faulty())
+	}
+	g1, svc1, rep1 := chaosRun(t, &sched, 4)
+
+	if got, want := counter(t, g1, "gateway_reconnects_total"), uint64(sched.Faulty()); got != want {
+		t.Fatalf("chaos reconnects = %d, want %d (one per scheduled kill)", got, want)
+	}
+	if got := counter(t, g1, "gateway_spool_dropped_total"); got != 0 {
+		t.Fatalf("chaos drops = %d, want 0", got)
+	}
+	if got := counter(t, g1, "gateway_dial_attempts_total"); got != uint64(sched.Faulty()+1) {
+		t.Fatalf("chaos dials = %d, want %d", got, sched.Faulty()+1)
+	}
+	// Every faulted session dies during its first segment write, so the
+	// oldest segment finally ships on the clean session — one replay.
+	if got := counter(t, g1, "gateway_replayed_segments_total"); got != 1 {
+		t.Fatalf("chaos replays = %d, want 1", got)
+	}
+	// Exactly-once decode: the cloud decoded each segment once, and the
+	// dedup cache never had to answer (no segment survived a faulted
+	// connection intact).
+	if got := svc1.Registry().Counter("cloud_segments_decoded_total").Value(); got != chaosSegments {
+		t.Fatalf("chaos cloud decodes = %d, want %d", got, chaosSegments)
+	}
+	chaos := payloadSet(rep1)
+	if len(chaos) != len(control) {
+		t.Fatalf("chaos recovered %d packets, control %d", len(chaos), len(control))
+	}
+	for i := range control {
+		if chaos[i] != control[i] {
+			t.Fatalf("chaos run lost packets:\nchaos   %v\ncontrol %v", chaos, control)
+		}
+	}
+	if st := g1.Stats(); st.SegmentsShipped != chaosSegments {
+		t.Fatalf("chaos shipped = %d, want %d", st.SegmentsShipped, chaosSegments)
+	}
+}

@@ -1,0 +1,491 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/backhaul"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// DefaultSpoolCapacity bounds the in-memory segment spool when
+// Resilient.SpoolCapacity is zero.
+const DefaultSpoolCapacity = 64
+
+// Resilient configures RunResilient, the reconnecting flavor of Run.
+type Resilient struct {
+	// Dial opens one backhaul connection attempt. RunResilient owns the
+	// returned stream and closes it when the session ends.
+	Dial func() (io.ReadWriteCloser, error)
+	// Retry paces reconnect attempts (see resilience.RetryPolicy; the zero
+	// value applies the package defaults). The budget is consecutive: a
+	// successfully established session restores it in full.
+	Retry resilience.RetryPolicy
+	// SpoolCapacity bounds the segment spool between the detection pipeline
+	// and the backhaul sender (default DefaultSpoolCapacity). When the
+	// spool saturates during an outage the oldest segment is dropped to the
+	// degraded edge-only decode path.
+	SpoolCapacity int
+	// ReadTimeout bounds silence on the wire: if the cloud sends nothing
+	// for this long the session is declared dead and redialed. Zero
+	// disables the watchdog.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each backhaul write. Zero disables it.
+	WriteTimeout time.Duration
+	// Epoch identifies this gateway process lifetime in the hello so the
+	// cloud can deduplicate segments replayed across connection flaps.
+	// Every session of one RunResilient call repeats the same epoch; a
+	// restarted gateway should pass a fresh value. Zero is replaced by 1.
+	Epoch uint64
+}
+
+// resMetrics is the registry-backed counter set of the resilience layer.
+type resMetrics struct {
+	reconnects     *obs.Counter            // gateway_reconnects_total
+	dialAttempts   *obs.Counter            // gateway_dial_attempts_total
+	dialFailures   *obs.Counter            // gateway_dial_failures_total
+	spoolDepth     *obs.Gauge              // gateway_spool_depth_count
+	spoolDropped   *obs.Counter            // gateway_spool_dropped_total
+	techDropped    map[string]*obs.Counter // gateway_spool_dropped_<tech>_total, read-only after wiring
+	unknownDropped *obs.Counter            // gateway_spool_dropped_unknown_total
+	degradedFrames *obs.Counter            // gateway_degraded_frames_total
+	replayed       *obs.Counter            // gateway_replayed_segments_total
+}
+
+func (g *Gateway) newResMetrics() *resMetrics {
+	rm := &resMetrics{
+		reconnects:     g.reg.Counter("gateway_reconnects_total"),
+		dialAttempts:   g.reg.Counter("gateway_dial_attempts_total"),
+		dialFailures:   g.reg.Counter("gateway_dial_failures_total"),
+		spoolDepth:     g.reg.Gauge("gateway_spool_depth_count"),
+		spoolDropped:   g.reg.Counter("gateway_spool_dropped_total"),
+		techDropped:    make(map[string]*obs.Counter, len(g.cfg.Techs)),
+		unknownDropped: g.reg.Counter("gateway_spool_dropped_unknown_total"),
+		degradedFrames: g.reg.Counter("gateway_degraded_frames_total"),
+		replayed:       g.reg.Counter("gateway_replayed_segments_total"),
+	}
+	for _, t := range g.cfg.Techs {
+		name := t.Name()
+		rm.techDropped[name] = g.reg.Counter("gateway_spool_dropped_" + obs.SanitizeToken(name) + "_total")
+	}
+	return rm
+}
+
+// carried is a spooled segment moving between sessions. sent marks items
+// that were shipped at least once and never acknowledged — shipping them
+// again counts as a replay.
+type carried struct {
+	it   resilience.Item
+	sent bool
+}
+
+// flight is one unacknowledged in-window segment of the current session.
+type flight struct {
+	it  resilience.Item
+	seq uint64
+}
+
+// ackEvent is one cloud reply routed from the session reader to the sender.
+type ackEvent struct {
+	seq    uint64
+	busy   bool
+	report backhaul.FramesReport
+}
+
+// degrade is the drop path: a segment the backhaul will never carry gets
+// one edge-only decode pass, any CRC-clean frames are reported locally, and
+// the drop is charged to the per-technology counters (by the technology of
+// the first recovered frame, or the unknown bucket when nothing decodes).
+// Only the capture feeder and the post-exhaustion drain call this, never
+// concurrently, so reusing the gateway's edge decoder is safe.
+func (g *Gateway) degrade(rm *resMetrics, it resilience.Item, reports func(backhaul.FramesReport)) {
+	tEdge := it.Span.Now()
+	frames, _ := g.edge.DecodeTraced(it.Seg.Samples, it.Span)
+	rep := backhaul.FramesReport{SegmentStart: it.Seg.Start}
+	tech := ""
+	for _, f := range frames {
+		if !f.CRCOK {
+			continue
+		}
+		if tech == "" {
+			tech = f.Tech
+		}
+		rep.Frames = append(rep.Frames, backhaul.FrameReport{
+			Tech:    f.Tech,
+			Payload: f.Payload,
+			CRCOK:   true,
+			Offset:  it.Seg.Start + int64(f.Offset),
+			SNRdB:   f.SNRdB,
+		})
+	}
+	rm.spoolDropped.Inc()
+	if c, ok := rm.techDropped[tech]; ok {
+		c.Inc()
+	} else {
+		rm.unknownDropped.Inc()
+	}
+	rm.degradedFrames.Add(uint64(len(rep.Frames)))
+	it.Span.Stage("spool_drop", it.Span.Now()-tEdge, float64(len(rep.Frames)))
+	it.Span.End()
+	if len(rep.Frames) > 0 && reports != nil {
+		reports(rep)
+	}
+}
+
+// resilientRun is the cross-session state of one RunResilient call.
+type resilientRun struct {
+	g       *Gateway
+	rc      Resilient
+	rm      *resMetrics
+	window  int
+	spool   *resilience.Spool
+	reports func(backhaul.FramesReport)
+	hello   backhaul.Hello
+
+	pending  []carried // backlog awaiting (re)shipment, oldest first
+	drained  bool      // spool closed and fully consumed
+	sessions int       // established sessions so far
+	backoff  *resilience.Backoff
+}
+
+// RunResilient is Run behind a reconnecting backhaul client. Captures are
+// consumed continuously by a feeder goroutine into a bounded spool, so the
+// detection pipeline never stalls on a dead link; the sender drains the
+// spool over a sequence of v2 sessions, re-helloing (same epoch) after
+// every connection failure and replaying the unacknowledged window so no
+// admitted segment is lost to a flap. When the spool saturates the oldest
+// segment falls back to a local edge-only decode (degraded mode) and is
+// counted dropped. The error is non-nil only when Retry's consecutive
+// attempt budget is exhausted; everything still spooled at that point is
+// drained through the degraded path before returning.
+//
+// Unlike Run, the reports callback may be invoked concurrently (cloud
+// reports from the session loop, degraded-mode reports from the feeder) —
+// callers must synchronize.
+func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, reports func(backhaul.FramesReport)) error {
+	if rc.Dial == nil {
+		return errors.New("gateway: RunResilient requires a Dial function")
+	}
+	if g.cfg.Protocol == 1 {
+		return errors.New("gateway: RunResilient requires backhaul protocol v2 (replay needs sequence acks)")
+	}
+	if rc.Epoch == 0 {
+		rc.Epoch = 1
+	}
+	if rc.SpoolCapacity <= 0 {
+		rc.SpoolCapacity = DefaultSpoolCapacity
+	}
+	version := g.cfg.Protocol
+	if version == 0 {
+		version = backhaul.Version
+	}
+	techs := make([]string, 0, len(g.cfg.Techs))
+	for _, t := range g.cfg.Techs {
+		techs = append(techs, t.Name())
+	}
+	window := g.cfg.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	rm := g.newResMetrics()
+	r := &resilientRun{
+		g:       g,
+		rc:      rc,
+		rm:      rm,
+		window:  window,
+		spool:   resilience.NewSpool(rc.SpoolCapacity),
+		reports: reports,
+		backoff: resilience.NewBackoff(rc.Retry),
+		hello: backhaul.Hello{
+			Version:    version,
+			GatewayID:  g.cfg.ID,
+			SampleRate: g.cfg.Frontend.SampleRate(),
+			Techs:      techs,
+			Epoch:      rc.Epoch,
+		},
+	}
+
+	// Feeder: keep detecting no matter what the backhaul is doing. Spool
+	// overflow routes the evicted (oldest) segment through degrade.
+	quit := make(chan struct{})
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		defer r.spool.Close()
+		put := func(res Result) {
+			for i, seg := range res.Shipped {
+				var sp *obs.Span
+				if i < len(res.Spans) {
+					sp = res.Spans[i]
+				}
+				if ev, dropped := r.spool.Put(resilience.Item{Seg: seg, Span: sp}); dropped {
+					g.degrade(rm, ev, reports)
+				}
+				rm.spoolDepth.Set(int64(r.spool.Len()))
+			}
+		}
+		for {
+			select {
+			case capture, ok := <-captures:
+				if !ok {
+					put(g.Flush())
+					return
+				}
+				put(g.Process(capture))
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	var lastErr error
+	for {
+		rm.dialAttempts.Inc()
+		rwc, err := rc.Dial()
+		if err != nil {
+			rm.dialFailures.Inc()
+			lastErr = err
+		} else {
+			finished, serr := r.session(rwc)
+			if finished {
+				close(quit)
+				<-feederDone
+				return nil
+			}
+			lastErr = serr
+		}
+		d, ok := r.backoff.Next()
+		if !ok {
+			close(quit)
+			<-feederDone
+			// The backhaul is gone for good: drain everything still queued
+			// through the degraded path so it is accounted as dropped, then
+			// surface the failure.
+			for it := range r.spool.C() {
+				g.degrade(rm, it, reports)
+			}
+			rm.spoolDepth.Set(0)
+			for _, c := range r.pending {
+				g.degrade(rm, c.it, reports)
+			}
+			r.pending = nil
+			return r.backoff.Err(lastErr)
+		}
+		time.Sleep(d)
+	}
+}
+
+// session drives one connection from hello to death or completion. It
+// returns finished=true when every admitted segment has been acknowledged
+// and the capture stream is exhausted; otherwise the unacknowledged window
+// and unsent backlog are carried over in r.pending for the next session.
+func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error) {
+	g := r.g
+	defer rwc.Close()
+	sp := g.tracer.Start("gateway-session", uint64(r.sessions)+1)
+	defer sp.End()
+	conn := backhaul.NewConn(resilience.WithDeadlines(rwc, r.rc.ReadTimeout, r.rc.WriteTimeout))
+	conn.SetMetrics(backhaul.NewConnMetrics(g.reg))
+	if err := conn.SendHello(r.hello); err != nil {
+		return false, fmt.Errorf("gateway: hello: %w", err)
+	}
+	typ, payload, err := conn.ReadMessage()
+	if err != nil {
+		return false, fmt.Errorf("gateway: hello ack: %w", err)
+	}
+	if typ != backhaul.MsgHelloAck {
+		return false, fmt.Errorf("gateway: expected hello ack, got message type %d", typ)
+	}
+	ack, err := backhaul.ParseHelloAck(payload)
+	if err != nil {
+		return false, fmt.Errorf("gateway: bad hello ack: %w", err)
+	}
+	window := r.window
+	if ack.Window > 0 && ack.Window < window {
+		window = ack.Window
+	}
+	// Established: renegotiated and ready to ship. Consecutive-failure
+	// accounting restarts here, and anything after the first session is by
+	// definition a reconnect.
+	sp.Stage("established", 0, float64(window))
+	if r.sessions > 0 {
+		r.rm.reconnects.Inc()
+	}
+	r.sessions++
+	r.backoff.Reset()
+
+	// Reader: parse cloud replies into ack events. Capacity covers the
+	// deepest possible in-flight window plus slack, so the sends below can
+	// never block long enough to deadlock session teardown.
+	acks := make(chan ackEvent, 2*window+16)
+	readerDone := make(chan error, 1)
+	go func() {
+		// The terminal error is buffered and the channel then closed, so
+		// every teardown path can wait on readerDone even after another
+		// path already consumed the error value.
+		defer close(readerDone)
+		for {
+			typ, payload, err := conn.ReadMessage()
+			if err != nil {
+				readerDone <- err
+				return
+			}
+			switch typ {
+			case backhaul.MsgFrames:
+				rep, err := backhaul.ParseFrames(payload)
+				if err != nil {
+					g.countBadReport()
+					continue
+				}
+				acks <- ackEvent{seq: rep.Seq, report: rep}
+			case backhaul.MsgBusy:
+				seq, err := backhaul.ParseBusy(payload)
+				if err != nil {
+					g.countBadReport()
+					continue
+				}
+				acks <- ackEvent{seq: seq, busy: true}
+			case backhaul.MsgBye:
+				readerDone <- io.EOF
+				return
+			default:
+				g.countBadReport()
+			}
+		}
+	}()
+
+	var (
+		inflight []flight
+		seq      uint64
+	)
+	apply := func(a ackEvent) {
+		idx := -1
+		for i := range inflight {
+			if inflight[i].seq == a.seq {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return // reply for a seq we no longer track; harmless
+		}
+		inflight = append(inflight[:idx], inflight[idx+1:]...)
+		if a.busy {
+			g.m.busyRejects.Inc()
+			return
+		}
+		if r.reports != nil {
+			r.reports(a.report)
+		}
+	}
+	// die tears the session down after a failure: force the reader out,
+	// apply every reply that did arrive (so only truly unacknowledged
+	// segments replay), and carry the rest to the next session.
+	die := func(e error) (bool, error) {
+		// The session is already failing for error e; the close is only
+		// there to force the reader out of its blocked ReadMessage.
+		//lint:ignore errdrop close error is superseded by the session error being returned
+		_ = rwc.Close()
+		for {
+			select {
+			case a := <-acks:
+				apply(a)
+			case <-readerDone:
+				for {
+					select {
+					case a := <-acks:
+						apply(a)
+					default:
+						left := make([]carried, 0, len(inflight)+len(r.pending))
+						for _, fl := range inflight {
+							left = append(left, carried{it: fl.it, sent: true})
+						}
+						left = append(left, r.pending...)
+						r.pending = left
+						sp.Stage("died", 0, float64(len(left)))
+						return false, e
+					}
+				}
+			}
+		}
+	}
+	sendItem := func(c carried) error {
+		itsp := c.it.Span
+		tShip := itsp.Now()
+		n, err := conn.SendSegmentSeq(g.cfg.Codec, seq, c.it.Seg)
+		if err != nil {
+			return err
+		}
+		g.m.wireBytes.Add(uint64(n))
+		if c.sent {
+			r.rm.replayed.Inc()
+		}
+		// The span is still live on first successful ship (and on the
+		// reship of an item whose first attempt died mid-write).
+		if itsp != nil {
+			itsp.Stage("encode_ship", itsp.Now()-tShip, float64(n))
+			itsp.End()
+			c.it.Span = nil
+		}
+		inflight = append(inflight, flight{it: c.it, seq: seq})
+		seq++
+		return nil
+	}
+
+	for {
+		// Fill the window: carried backlog first (oldest segments, replay
+		// order), then fresh segments from the spool.
+		for len(inflight) < window && len(r.pending) > 0 {
+			c := r.pending[0]
+			if err := sendItem(c); err != nil {
+				return die(fmt.Errorf("gateway: replay ship: %w", err))
+			}
+			r.pending = r.pending[1:]
+		}
+		if r.drained && len(r.pending) == 0 && len(inflight) == 0 {
+			// Every admitted segment acknowledged and no more captures:
+			// orderly shutdown. The work is complete even if the bye
+			// exchange itself fails.
+			if err := conn.SendBye(); err != nil {
+				_, _ = die(err)
+				return true, nil
+			}
+			for {
+				select {
+				case a := <-acks:
+					apply(a)
+				case <-readerDone:
+					return true, nil
+				}
+			}
+		}
+		var spoolC <-chan resilience.Item
+		if len(inflight) < window && len(r.pending) == 0 && !r.drained {
+			spoolC = r.spool.C()
+		}
+		select {
+		case it, ok := <-spoolC:
+			if !ok {
+				r.drained = true
+				continue
+			}
+			r.rm.spoolDepth.Set(int64(r.spool.Len()))
+			if err := sendItem(carried{it: it}); err != nil {
+				// The item left the spool but never made it into the
+				// in-flight window: requeue it ahead of the backlog (it is
+				// older than anything still spooled, newer than inflight,
+				// which die prepends) or it would be lost with the session.
+				// It touched the wire, so its reshipment is a replay.
+				r.pending = append([]carried{{it: it, sent: true}}, r.pending...)
+				return die(fmt.Errorf("gateway: ship: %w", err))
+			}
+		case a := <-acks:
+			apply(a)
+		case err := <-readerDone:
+			return die(fmt.Errorf("gateway: session read: %w", err))
+		}
+	}
+}
