@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/galiot"
 	"repro/internal/backhaul"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/experiments"
 	"repro/internal/farm"
+	"repro/internal/perf"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -298,6 +300,35 @@ func BenchmarkFarmThroughput(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "segments/s")
 			svc.Close()
+		})
+	}
+}
+
+// BenchmarkPerfStages bridges the galiot-bench harness into `go test
+// -bench`: each hot pipeline stage runs through internal/perf's seeded
+// workloads and reports the harness's own ns/sample and allocs/op, so
+// benchstat and BENCH.json describe the same measurements. b.N is ignored
+// on purpose — the harness uses fixed iteration counts so its workload
+// identity (and hence its regression baselines) never depends on host
+// speed.
+func BenchmarkPerfStages(b *testing.B) {
+	for _, stage := range perf.StageNames() {
+		b.Run(stage, func(b *testing.B) {
+			rep, err := perf.Run(perf.Options{
+				Seed:   1,
+				Quick:  true,
+				Clock:  func() int64 { return time.Now().UnixNano() },
+				Stages: []string{stage},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := rep.Stages[0]
+			b.ReportMetric(s.NsPerSample, "ns/sample")
+			b.ReportMetric(s.SamplesPerSec/1e6, "Msamples/s")
+			if s.AllocsPerOp >= 0 {
+				b.ReportMetric(s.AllocsPerOp, "allocs/op")
+			}
 		})
 	}
 }

@@ -1,0 +1,127 @@
+// Command galiot-bench runs the GalioT performance harness: deterministic
+// seeded workloads through every pipeline stage, a structured BENCH.json
+// report, and (with -baseline) a noise-aware regression verdict with a
+// non-zero exit when a hot-path stage regressed. See DESIGN.md §12.
+//
+// Usage:
+//
+//	galiot-bench -quick -out BENCH.json                    # measure
+//	galiot-bench -quick -baseline BENCH_BASELINE.json      # measure + gate
+//	galiot-bench -compare-only -out BENCH.json -baseline B # re-gate, no run
+//	galiot-bench -list                                     # stage names
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		quick       = flag.Bool("quick", false, "CI-sized workloads and iteration counts (~seconds, not minutes)")
+		seed        = flag.Uint64("seed", 1, "root seed for every workload generator")
+		out         = flag.String("out", "", "write the report JSON here ('-' or empty = stdout)")
+		baseline    = flag.String("baseline", "", "compare against this baseline report; exit 1 on hot-path regressions")
+		threshold   = flag.Float64("threshold", 0, "relative regression threshold (0 = default 0.35; CI uses 2.0 across hardware)")
+		profileDir  = flag.String("profile-dir", "", "write per-stage CPU and heap profiles into this directory")
+		stages      = flag.String("stages", "", "comma-separated stage filter (default: all)")
+		list        = flag.Bool("list", false, "print stage names and exit")
+		compareOnly = flag.Bool("compare-only", false, "skip measuring; load -out as the current report and compare against -baseline")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range perf.StageNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var rep *perf.Report
+	if *compareOnly {
+		if *out == "" || *out == "-" {
+			fatalf("-compare-only needs -out pointing at an existing report file")
+		}
+		var err error
+		rep, err = loadReport(*out)
+		if err != nil {
+			fatalf("load current report: %v", err)
+		}
+	} else {
+		opts := perf.Options{
+			Seed:       *seed,
+			Quick:      *quick,
+			Clock:      func() int64 { return time.Now().UnixNano() },
+			ProfileDir: *profileDir,
+		}
+		if *stages != "" {
+			for _, s := range strings.Split(*stages, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					opts.Stages = append(opts.Stages, s)
+				}
+			}
+		}
+		var err error
+		rep, err = perf.Run(opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := writeReport(*out, rep); err != nil {
+			fatalf("write report: %v", err)
+		}
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fatalf("load baseline: %v", err)
+	}
+	cmp, err := perf.Compare(base, rep, perf.CompareOptions{RelThreshold: *threshold})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprint(os.Stderr, cmp.Render())
+	if regs := cmp.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d hot-path regression(s)\n", len(regs))
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "OK: no hot-path regressions")
+}
+
+func loadReport(path string) (*perf.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r perf.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeReport(path string, r *perf.Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "galiot-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -29,6 +29,7 @@ func main() {
 		workers        = flag.Int("workers", 4, "decode-farm worker count (0 decodes inline, one segment per session at a time)")
 		queue          = flag.Int("queue", 64, "decode-farm admission queue depth; beyond it v2 gateways get busy rejects")
 		sessionTimeout = flag.Duration("session-timeout", 0, "reap sessions idle for this long (0 = never)")
+		dedupTTL       = flag.Duration("dedup-ttl", 0, "evict replay-dedup cache entries older than this (0 = count-bound only)")
 		obsAddr        = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
 	)
 	flag.Parse()
@@ -45,6 +46,9 @@ func main() {
 	tracer := galiot.NewObsTracer(0)
 	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
 	svc.UseObs(reg, tracer)
+	if *dedupTTL > 0 {
+		svc.SetDedupTTL(*dedupTTL, time.Now)
+	}
 	if *obsAddr != "" {
 		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
 		if err := obsSrv.Start(*obsAddr); err != nil {
@@ -59,7 +63,11 @@ func main() {
 		log.Printf("observability endpoints on http://%s/metrics", obsSrv.Addr())
 	}
 	if *workers > 0 {
-		svc.StartFarm(galiot.FarmConfig{Workers: *workers, QueueDepth: *queue})
+		svc.StartFarm(galiot.FarmConfig{
+			Workers:    *workers,
+			QueueDepth: *queue,
+			Clock:      func() int64 { return time.Now().UnixNano() },
+		})
 	}
 	srv := &galiot.CloudServer{Service: svc, SessionTimeout: *sessionTimeout}
 	if err := srv.Listen(*listen); err != nil {

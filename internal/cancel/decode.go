@@ -28,6 +28,18 @@ type Stats struct {
 	Duplicates   int // re-decodes of an already recovered frame (imperfect cancellation)
 }
 
+// Add accumulates other into s, field by field. Aggregators (the perf
+// harness, the cloud's per-session totals) all sum the same way instead of
+// each re-listing the fields and drifting when one is added.
+func (s *Stats) Add(other Stats) {
+	s.SICRounds += other.SICRounds
+	s.KillFreq += other.KillFreq
+	s.KillCSS += other.KillCSS
+	s.KillCodes += other.KillCodes
+	s.FailedDecode += other.FailedDecode
+	s.Duplicates += other.Duplicates
+}
+
 // Decoder performs collision decoding over a fixed technology set.
 type Decoder struct {
 	Techs []phy.Technology

@@ -20,6 +20,7 @@ import (
 	"io"
 	"log"
 	"sync"
+	"time"
 
 	"repro/internal/backhaul"
 	"repro/internal/cancel"
@@ -58,6 +59,7 @@ type cloudMetrics struct {
 	failed     *obs.Counter            // cloud_failed_decode_total
 	duplicates *obs.Counter            // cloud_duplicates_total
 	deduped    *obs.Counter            // cloud_segments_deduped_total
+	dedupEvict *obs.Counter            // cloud_dedup_evictions_total (age-based)
 	techFrames map[string]*obs.Counter // per-technology decoded frames
 }
 
@@ -72,6 +74,7 @@ func newCloudMetrics(reg *obs.Registry, techs []phy.Technology) cloudMetrics {
 		failed:     reg.Counter("cloud_failed_decode_total"),
 		duplicates: reg.Counter("cloud_duplicates_total"),
 		deduped:    reg.Counter("cloud_segments_deduped_total"),
+		dedupEvict: reg.Counter("cloud_dedup_evictions_total"),
 		techFrames: make(map[string]*obs.Counter, len(techs)),
 	}
 	for _, t := range techs {
@@ -89,6 +92,7 @@ func NewService(techs []phy.Technology) *Service {
 	}}
 	s.reg = obs.NewRegistry()
 	s.m = newCloudMetrics(s.reg, techs)
+	s.dedup.setEvictions(s.m.dedupEvict)
 	return s
 }
 
@@ -100,8 +104,17 @@ func (s *Service) UseObs(reg *obs.Registry, tr *obs.Tracer) {
 	if reg != nil {
 		s.reg = reg
 		s.m = newCloudMetrics(reg, s.Techs)
+		s.dedup.setEvictions(s.m.dedupEvict)
 	}
 	s.tracer = tr
+}
+
+// SetDedupTTL age-bounds the replay dedup cache: entries older than ttl
+// are evicted lazily and counted on cloud_dedup_evictions_total. The clock
+// is injected (pass time.Now; the service never reads the wall clock
+// itself). A zero ttl or nil clock leaves the cache purely count-bound.
+func (s *Service) SetDedupTTL(ttl time.Duration, now func() time.Time) {
+	s.dedup.setTTL(ttl, now, s.m.dedupEvict)
 }
 
 // Registry exposes the service's metric registry (the private one, or

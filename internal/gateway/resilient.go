@@ -53,6 +53,8 @@ type resMetrics struct {
 	unknownDropped *obs.Counter            // gateway_spool_dropped_unknown_total
 	degradedFrames *obs.Counter            // gateway_degraded_frames_total
 	replayed       *obs.Counter            // gateway_replayed_segments_total
+	connected      *obs.Gauge              // gateway_connected_state (1 = session established)
+	backoffMillis  *obs.Gauge              // gateway_backoff_current_millis (0 when not backing off)
 }
 
 func (g *Gateway) newResMetrics() *resMetrics {
@@ -66,6 +68,8 @@ func (g *Gateway) newResMetrics() *resMetrics {
 		unknownDropped: g.reg.Counter("gateway_spool_dropped_unknown_total"),
 		degradedFrames: g.reg.Counter("gateway_degraded_frames_total"),
 		replayed:       g.reg.Counter("gateway_replayed_segments_total"),
+		connected:      g.reg.Gauge("gateway_connected_state"),
+		backoffMillis:  g.reg.Gauge("gateway_backoff_current_millis"),
 	}
 	for _, t := range g.cfg.Techs {
 		name := t.Name()
@@ -259,6 +263,7 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 		}
 		d, ok := r.backoff.Next()
 		if !ok {
+			rm.backoffMillis.Set(0)
 			close(quit)
 			<-feederDone
 			// The backhaul is gone for good: drain everything still queued
@@ -274,7 +279,12 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 			r.pending = nil
 			return r.backoff.Err(lastErr)
 		}
+		// Surface the wait on /metrics while it is happening: an operator
+		// watching a flapping gateway sees the current backoff delay, not
+		// just a reconnect counter after the fact.
+		rm.backoffMillis.Set(d.Milliseconds())
 		time.Sleep(d)
+		rm.backoffMillis.Set(0)
 	}
 }
 
@@ -311,6 +321,8 @@ func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error
 	// accounting restarts here, and anything after the first session is by
 	// definition a reconnect.
 	sp.Stage("established", 0, float64(window))
+	r.rm.connected.Set(1)
+	defer r.rm.connected.Set(0)
 	if r.sessions > 0 {
 		r.rm.reconnects.Inc()
 	}

@@ -1,0 +1,54 @@
+package obs
+
+// StageTimer records per-stage durations into a registry histogram without
+// allocating on the hot path. It follows the package's determinism rule:
+// the clock is injected (commands pass time.Now().UnixNano; libraries a
+// sample clock or step counter), never read from the wall here.
+//
+// Usage in a hot loop:
+//
+//	start := timer.Start()
+//	... stage work ...
+//	timer.Stop(start)
+//
+// Start/Stop return and accept a raw int64 instead of a closure so the
+// instrumented loop stays allocation-free (a func() capture would escape).
+// All methods are nil-safe no-ops, so wiring is optional: a nil *StageTimer
+// costs one predictable branch.
+type StageTimer struct {
+	clock func() int64
+	hist  *Histogram
+}
+
+// NewStageTimer builds a timer that observes durations into the named
+// histogram of r (window <= 0 means DefaultHistogramWindow). The name must
+// follow the subsystem_name_unit scheme and should end in _nanos. A nil
+// registry or nil clock yields a nil timer, which is safe to use.
+func NewStageTimer(r *Registry, name string, window int, clock func() int64) *StageTimer {
+	if r == nil || clock == nil {
+		return nil
+	}
+	return &StageTimer{clock: clock, hist: r.Histogram(name, window)}
+}
+
+// Start returns the current clock reading (0 for a nil timer).
+func (t *StageTimer) Start() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Stop observes now-start into the histogram. Negative deltas (a clock
+// that stepped backwards mid-stage) are clamped to zero rather than
+// poisoning the quantiles.
+func (t *StageTimer) Stop(start int64) {
+	if t == nil {
+		return
+	}
+	d := t.clock() - start
+	if d < 0 {
+		d = 0
+	}
+	t.hist.Observe(d)
+}

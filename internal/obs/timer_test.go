@@ -1,0 +1,61 @@
+package obs
+
+import "testing"
+
+func TestStageTimerRecordsDurations(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	var now int64
+	clock := func() int64 { return now }
+	timer := NewStageTimer(r, "perf_stage_duration_nanos", 16, clock)
+
+	start := timer.Start()
+	now += 42
+	timer.Stop(start)
+
+	snap := r.Histogram("perf_stage_duration_nanos", 16).Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("Count = %d, want 1", snap.Count)
+	}
+	if snap.P50 != 42 {
+		t.Fatalf("P50 = %d, want 42", snap.P50)
+	}
+}
+
+func TestStageTimerClampsBackwardsClock(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	var now int64 = 100
+	timer := NewStageTimer(r, "perf_stage_duration_nanos", 16, func() int64 { return now })
+
+	start := timer.Start()
+	now = 50 // clock stepped backwards
+	timer.Stop(start)
+
+	snap := r.Histogram("perf_stage_duration_nanos", 16).Snapshot()
+	if snap.P50 != 0 || snap.P99 != 0 {
+		t.Fatalf("negative delta not clamped: %+v", snap)
+	}
+}
+
+func TestStageTimerNilSafe(t *testing.T) {
+	t.Parallel()
+	var timer *StageTimer
+	timer.Stop(timer.Start()) // must not panic
+
+	if tm := NewStageTimer(nil, "perf_stage_duration_nanos", 0, func() int64 { return 0 }); tm != nil {
+		t.Fatal("nil registry should yield nil timer")
+	}
+	if tm := NewStageTimer(NewRegistry(), "perf_stage_duration_nanos", 0, nil); tm != nil {
+		t.Fatal("nil clock should yield nil timer")
+	}
+}
+
+func TestNewMetricUnitsAccepted(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"gateway_backoff_current_millis", "gateway_connected_state"} {
+		if !ValidMetricName(name) {
+			t.Errorf("ValidMetricName(%q) = false, want true", name)
+		}
+	}
+}

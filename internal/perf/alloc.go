@@ -1,0 +1,34 @@
+package perf
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// allocProbeRuns is how many iterations the allocation probe averages
+// over. Small on purpose: the probe runs outside the timed loop and some
+// stage iterations are expensive.
+const allocProbeRuns = 5
+
+// allocsPerRun measures average heap allocations and bytes per call of fn,
+// in the spirit of testing.AllocsPerRun but usable outside a test binary.
+// GC is disabled for the probe so a collection mid-run cannot skew the
+// mallocs delta, and the probe pins itself to one OS thread the way the
+// testing package does to keep per-P alloc caches coherent.
+func allocsPerRun(runs int, fn func()) (allocsPerOp, bytesPerOp float64) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	fn() // warm the path under the probe's own regime
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(runs)
+	bytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(runs)
+	return allocsPerOp, bytesPerOp
+}

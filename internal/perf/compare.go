@@ -1,0 +1,236 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Verdict classifies one metric's movement between baseline and current.
+type Verdict string
+
+const (
+	// Regressed: the metric moved in the bad direction past the threshold.
+	Regressed Verdict = "regressed"
+	// Improved: moved in the good direction past the threshold.
+	Improved Verdict = "improved"
+	// Unchanged: within the noise band.
+	Unchanged Verdict = "unchanged"
+	// Skipped: below the minimum-signal floor (too fast to trust a ratio).
+	Skipped Verdict = "skipped"
+	// Incomparable: workload identity differs (seed, iters, samples) — a
+	// ratio would compare different work, so no verdict is issued.
+	Incomparable Verdict = "incomparable"
+)
+
+// Delta is one compared metric of one stage.
+type Delta struct {
+	Stage  string  `json:"stage"`
+	Metric string  `json:"metric"`
+	Hot    bool    `json:"hot"`
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+	// Ratio is Cur/Base (1.0 = unchanged). 0 when incomparable/skipped.
+	Ratio   float64 `json:"ratio"`
+	Verdict Verdict `json:"verdict"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// Comparison is the full result of comparing a current report against a
+// baseline.
+type Comparison struct {
+	Deltas []Delta `json:"deltas"`
+	// NewStages/RemovedStages record coverage drift (non-gating, but
+	// rendered so a silently dropped stage is visible).
+	NewStages     []string `json:"new_stages,omitempty"`
+	RemovedStages []string `json:"removed_stages,omitempty"`
+	// EnvMismatch notes baseline and current came from different
+	// GOOS/GOARCH/CPU-count environments; ratios still computed, trust
+	// accordingly.
+	EnvMismatch string `json:"env_mismatch,omitempty"`
+}
+
+// CompareOptions tunes the noise model.
+type CompareOptions struct {
+	// RelThreshold is the relative change that counts as movement: a
+	// metric regresses when cur > base*(1+RelThreshold). Default 0.35 —
+	// wide on purpose; micro-benchmark noise between unrelated commits on
+	// shared CI runners routinely reaches ±20%. Raise further (CI uses 2.0)
+	// when baseline and current run on different hardware.
+	RelThreshold float64
+	// MinWallNs is the minimum stage wall time (in both runs) for
+	// time-derived ratios to be trusted; below it the stage's timing
+	// deltas are Skipped. Default 1e6 (1ms).
+	MinWallNs int64
+	// AllocSlack is the absolute allocs/op increase tolerated before the
+	// allocs metric can regress (guards integer-ish metrics where +1 alloc
+	// on a 2-alloc baseline is a 50% "regression"). Default 2.
+	AllocSlack float64
+}
+
+func (o *CompareOptions) defaults() {
+	if o.RelThreshold <= 0 {
+		o.RelThreshold = 0.35
+	}
+	if o.MinWallNs <= 0 {
+		o.MinWallNs = 1e6
+	}
+	if o.AllocSlack <= 0 {
+		o.AllocSlack = 2
+	}
+}
+
+// Compare evaluates cur against base stage by stage. Gating metrics are
+// ns_per_sample (the paper's per-sample budget) and allocs_per_op; both are
+// "lower is better". Throughput moves inversely and is reported via the
+// same ns_per_sample delta rather than double-counted.
+func Compare(base, cur *Report, opts CompareOptions) (*Comparison, error) {
+	if base.SchemaVersion != cur.SchemaVersion {
+		return nil, fmt.Errorf("perf: schema mismatch: baseline v%d vs current v%d", base.SchemaVersion, cur.SchemaVersion)
+	}
+	opts.defaults()
+
+	cmp := &Comparison{}
+	if base.Env != cur.Env {
+		cmp.EnvMismatch = fmt.Sprintf("baseline %s/%s %dcpu go %s vs current %s/%s %dcpu go %s",
+			base.Env.GOOS, base.Env.GOARCH, base.Env.NumCPU, base.Env.GoVersion,
+			cur.Env.GOOS, cur.Env.GOARCH, cur.Env.NumCPU, cur.Env.GoVersion)
+	}
+
+	baseBy := map[string]*StageResult{}
+	for i := range base.Stages {
+		baseBy[base.Stages[i].Name] = &base.Stages[i]
+	}
+	seen := map[string]bool{}
+	for i := range cur.Stages {
+		c := &cur.Stages[i]
+		seen[c.Name] = true
+		b, ok := baseBy[c.Name]
+		if !ok {
+			cmp.NewStages = append(cmp.NewStages, c.Name)
+			continue
+		}
+		cmp.Deltas = append(cmp.Deltas, compareStage(b, c, opts)...)
+	}
+	for name := range baseBy {
+		if !seen[name] {
+			cmp.RemovedStages = append(cmp.RemovedStages, name)
+		}
+	}
+	sort.Strings(cmp.NewStages)
+	sort.Strings(cmp.RemovedStages)
+	return cmp, nil
+}
+
+// compareStage emits this stage's deltas: ns_per_sample always, and
+// allocs_per_op when both runs measured it.
+func compareStage(b, c *StageResult, opts CompareOptions) []Delta {
+	var out []Delta
+
+	// Identity gate: comparing different workloads is meaningless, and
+	// (being seed- or flag-induced) it is operator error, not regression.
+	if b.Iters != c.Iters || b.SamplesPerIter != c.SamplesPerIter {
+		return []Delta{{
+			Stage: c.Name, Metric: "ns_per_sample", Hot: c.Hot,
+			Base: b.NsPerSample, Cur: c.NsPerSample,
+			Verdict: Incomparable,
+			Note: fmt.Sprintf("workload identity differs: iters %d→%d, samples/iter %d→%d",
+				b.Iters, c.Iters, b.SamplesPerIter, c.SamplesPerIter),
+		}}
+	}
+
+	d := Delta{
+		Stage: c.Name, Metric: "ns_per_sample", Hot: c.Hot,
+		Base: b.NsPerSample, Cur: c.NsPerSample,
+	}
+	switch {
+	case b.WallNs < opts.MinWallNs || c.WallNs < opts.MinWallNs:
+		d.Verdict = Skipped
+		d.Note = fmt.Sprintf("wall < %dms floor", opts.MinWallNs/1e6)
+	case b.NsPerSample <= 0:
+		d.Verdict = Skipped
+		d.Note = "no baseline signal"
+	default:
+		d.Ratio = c.NsPerSample / b.NsPerSample
+		d.Verdict = classify(d.Ratio, opts.RelThreshold)
+	}
+	out = append(out, d)
+
+	if b.AllocsPerOp >= 0 && c.AllocsPerOp >= 0 {
+		a := Delta{
+			Stage: c.Name, Metric: "allocs_per_op", Hot: c.Hot,
+			Base: b.AllocsPerOp, Cur: c.AllocsPerOp,
+		}
+		switch {
+		case c.AllocsPerOp <= b.AllocsPerOp+opts.AllocSlack:
+			if b.AllocsPerOp > 0 {
+				a.Ratio = c.AllocsPerOp / b.AllocsPerOp
+			}
+			if b.AllocsPerOp-c.AllocsPerOp > opts.AllocSlack {
+				a.Verdict = Improved
+			} else {
+				a.Verdict = Unchanged
+			}
+		case b.AllocsPerOp <= 0:
+			a.Verdict = Regressed
+			a.Note = "allocs appeared on an alloc-free baseline"
+		default:
+			a.Ratio = c.AllocsPerOp / b.AllocsPerOp
+			a.Verdict = classify(a.Ratio, opts.RelThreshold)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// classify maps a lower-is-better ratio to a verdict.
+func classify(ratio, rel float64) Verdict {
+	switch {
+	case ratio > 1+rel:
+		return Regressed
+	case ratio < 1/(1+rel):
+		return Improved
+	default:
+		return Unchanged
+	}
+}
+
+// Regressions returns the deltas that should gate: hot-stage metrics with
+// a Regressed verdict. Cold stages (farm_queue) report but never gate —
+// their numbers include scheduler behavior the code under test doesn't own.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Hot && d.Verdict == Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Render formats the comparison as an aligned text table.
+func (c *Comparison) Render() string {
+	var sb strings.Builder
+	if c.EnvMismatch != "" {
+		fmt.Fprintf(&sb, "WARNING: environment mismatch (%s)\n", c.EnvMismatch)
+	}
+	fmt.Fprintf(&sb, "%-18s %-14s %12s %12s %8s  %s\n", "STAGE", "METRIC", "BASE", "CURRENT", "RATIO", "VERDICT")
+	for _, d := range c.Deltas {
+		ratio := "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", d.Ratio)
+		}
+		verdict := string(d.Verdict)
+		if d.Note != "" {
+			verdict += " (" + d.Note + ")"
+		}
+		fmt.Fprintf(&sb, "%-18s %-14s %12.2f %12.2f %8s  %s\n", d.Stage, d.Metric, d.Base, d.Cur, ratio, verdict)
+	}
+	for _, n := range c.NewStages {
+		fmt.Fprintf(&sb, "new stage (no baseline): %s\n", n)
+	}
+	for _, n := range c.RemovedStages {
+		fmt.Fprintf(&sb, "stage missing from current run: %s\n", n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,48 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startStageProfile begins a CPU profile for one stage when dir is
+// non-empty and returns a stop function that finishes the CPU profile and
+// writes a heap profile next to it. With an empty dir both are no-ops.
+// Files land at <dir>/<stage>.cpu.pb.gz and <dir>/<stage>.heap.pb.gz.
+func startStageProfile(dir, stage string) (stop func() error, err error) {
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile dir: %w", err)
+	}
+	cpuPath := filepath.Join(dir, stage+".cpu.pb.gz")
+	cpuF, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		_ = cpuF.Close() // the start failure is the error worth reporting
+		return nil, fmt.Errorf("start cpu profile %s: %w", cpuPath, err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpuF.Close(); err != nil {
+			return err
+		}
+		heapPath := filepath.Join(dir, stage+".heap.pb.gz")
+		heapF, err := os.Create(heapPath)
+		if err != nil {
+			return err
+		}
+		defer heapF.Close()
+		runtime.GC() // up-to-date live-object statistics
+		if err := pprof.WriteHeapProfile(heapF); err != nil {
+			return fmt.Errorf("write heap profile %s: %w", heapPath, err)
+		}
+		return nil
+	}, nil
+}
