@@ -6,19 +6,25 @@
 //
 // Usage:
 //
-//	galiot-lint [-json] [-rules list] [-list] [packages]
+//	galiot-lint [-json] [-rules list] [-list] [-audit-ignores] [packages]
 //
 // Exit status: 0 when clean, 1 when there are findings, 2 on load or
 // usage errors — so CI can gate on it directly. Individual findings can be
 // suppressed at the site with a justified comment:
 //
 //	//lint:ignore <rule> <reason>
+//
+// -audit-ignores inverts the check: instead of findings it reports every
+// //lint:ignore directive that no longer suppresses anything, so stale
+// suppressions can be deleted before they hide a future regression.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,23 +34,38 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(lintMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	ruleList := flag.String("rules", "", "comma-separated rule names to run (default: all)")
-	list := flag.Bool("list", false, "list available rules and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: galiot-lint [-json] [-rules r1,r2] [-list] [packages]\n")
-		flag.PrintDefaults()
+// printf writes formatted driver output, explicitly discarding the write
+// error: a CLI has nowhere to report a failing stdout/stderr.
+func printf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// lintMain is the whole driver behind a testable seam: flags and package
+// patterns in args, findings on stdout, errors on stderr, exit code
+// returned. Output ordering is deterministic — findings sort by
+// (file, line, column, rule) — so runs diff cleanly in CI.
+func lintMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("galiot-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	ruleList := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	audit := fs.Bool("audit-ignores", false, "report //lint:ignore directives that suppress nothing")
+	fs.Usage = func() {
+		printf(stderr, "usage: galiot-lint [-json] [-rules r1,r2] [-list] [-audit-ignores] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	active := rules.All()
 	if *list {
 		for _, a := range active {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			printf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -52,7 +73,7 @@ func run() int {
 		names := strings.Split(*ruleList, ",")
 		picked, ok := rules.ByName(names)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "galiot-lint: unknown rule in -rules=%s (use -list)\n", *ruleList)
+			printf(stderr, "galiot-lint: unknown rule in -rules=%s (use -list)\n", *ruleList)
 			return 2
 		}
 		active = picked
@@ -60,43 +81,86 @@ func run() int {
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "galiot-lint: %v\n", err)
+		printf(stderr, "galiot-lint: %v\n", err)
 		return 2
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "galiot-lint: %v\n", err)
+		printf(stderr, "galiot-lint: %v\n", err)
 		return 2
 	}
-	pkgs, err := loader.LoadPatterns(flag.Args())
+	pkgs, err := loader.LoadPatterns(fs.Args())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "galiot-lint: %v\n", err)
+		printf(stderr, "galiot-lint: %v\n", err)
 		return 2
 	}
 
-	diags := analysis.Run(active, pkgs)
-	for i := range diags {
-		// Findings read better (and diff stably) module-relative.
-		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].Pos.Filename = rel
+	diags, stale := analysis.RunAudit(active, pkgs)
+	// Positions read better (and diff stably) module-relative.
+	relativize := func(pos *token.Position) {
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
 		}
 	}
+	for i := range diags {
+		relativize(&diags[i].Pos)
+	}
+	for i := range stale {
+		relativize(&stale[i].Pos)
+	}
+
+	if *audit {
+		return emitAudit(stale, *jsonOut, stdout, stderr)
+	}
+
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // encode as [], not null
+		}
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintf(os.Stderr, "galiot-lint: %v\n", err)
+			printf(stderr, "galiot-lint: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			printf(stdout, "%v\n", d)
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "galiot-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+			printf(stderr, "galiot-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		}
 	}
 	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// emitAudit prints the stale-directive report and gates on it: exit 1 when
+// any //lint:ignore suppresses nothing, so the tree cannot accumulate dead
+// suppressions that would mask a future finding at the same site.
+func emitAudit(stale []analysis.Directive, jsonOut bool, stdout, stderr io.Writer) int {
+	if jsonOut {
+		if stale == nil {
+			stale = []analysis.Directive{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stale); err != nil {
+			printf(stderr, "galiot-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range stale {
+			printf(stdout, "%s:%d:%d: stale //lint:ignore %s: suppresses no finding\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule)
+		}
+		if len(stale) > 0 {
+			printf(stderr, "galiot-lint: %d stale suppression(s)\n", len(stale))
+		}
+	}
+	if len(stale) > 0 {
 		return 1
 	}
 	return 0

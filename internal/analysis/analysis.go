@@ -105,7 +105,22 @@ func MatchPathSuffix(suffixes ...string) func(string) bool {
 // Run applies each analyzer to each package and returns the surviving
 // (non-suppressed) findings in deterministic order.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	diags, _ := RunAudit(analyzers, pkgs)
+	return diags
+}
+
+// RunAudit is Run plus a suppression audit: alongside the surviving
+// findings it returns every //lint:ignore directive that suppressed
+// nothing, in deterministic (file, line) order. Only directives naming one
+// of the analyzers actually run are audited — a directive for a filtered-
+// out rule cannot be proven stale.
+func RunAudit(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, []Directive) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var all []Diagnostic
+	var stale []Directive
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
 		all = append(all, sup.bad...)
@@ -129,9 +144,20 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 			}
 			a.Run(pass)
 		}
+		stale = append(stale, sup.stale(ran)...)
 	}
 	sortDiagnostics(all)
-	return all
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return all, stale
 }
 
 // TypeContainsSync reports whether t contains (directly or through struct

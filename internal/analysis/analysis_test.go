@@ -139,6 +139,43 @@ func helper() {}
 	}
 }
 
+func TestRunAuditReportsStaleDirectives(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+func A() {
+	//lint:ignore callcounter this one suppresses the call below
+	helper()
+	//lint:ignore callcounter nothing to suppress on the next line
+	var _ = 1
+	//lint:ignore someotherrule that rule is not running
+	var _ = 2
+}
+
+func helper() {}
+`,
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, stale := RunAudit([]*Analyzer{callCounter}, []*Package{pkg})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected findings: %v", diags)
+	}
+	// The exercised directive and the one naming a rule that did not run
+	// are both excluded; only the dead callcounter directive is stale.
+	if len(stale) != 1 || stale[0].Rule != "callcounter" || stale[0].Pos.Line != 6 {
+		t.Fatalf("stale = %+v, want exactly the line-6 callcounter directive", stale)
+	}
+}
+
 func TestDiagnosticOrderingIsStable(t *testing.T) {
 	t.Parallel()
 	root := writeTree(t, map[string]string{

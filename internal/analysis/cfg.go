@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs from go/ast alone —
+// no SSA, no x/tools — precise enough for the dominator and dataflow
+// passes the lock-guard and context-propagation rules are built on.
+//
+// A Block is a straight-line run of statements: execution enters at the
+// first node and leaves through one of Succs. Nodes hold statements plus
+// the control expressions evaluated in the block (an if condition, a
+// switch tag, case expressions), in evaluation order. Function literals
+// are never descended into — a FuncLit body runs in its own frame and gets
+// its own CFG (see InspectShallow).
+
+// Block is one basic block of a CFG.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block; blocks unreachable from it (dead code after return, bodies
+// of never-taken branches the builder still materializes) simply have no
+// path from the entry and are ignored by the dominator and dataflow
+// passes.
+type CFG struct {
+	Blocks []*Block
+}
+
+// Entry returns the function's entry block.
+func (c *CFG) Entry() *Block { return c.Blocks[0] }
+
+// Preds computes the predecessor lists of every block.
+func (c *CFG) Preds() [][]*Block {
+	preds := make([][]*Block, len(c.Blocks))
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	return preds
+}
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c, labels: make(map[string]*Block)}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	return c
+}
+
+// frame is one enclosing breakable/continuable construct during building.
+type frame struct {
+	label    string // non-empty for labeled statements
+	brk      *Block // break target (loops, switch, select)
+	cont     *Block // continue target; nil for switch/select frames
+	isSwitch bool
+}
+
+type cfgBuilder struct {
+	cfg          *CFG
+	cur          *Block
+	frames       []frame
+	labels       map[string]*Block // goto/label targets
+	pendingLabel string
+	fallTo       *Block // next case body, for fallthrough
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current block with no fallthrough successor; the
+// fresh block it installs is dead unless something links to it.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+// takeLabel consumes the label attached to the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// labelBlock returns (creating if needed) the block a label names, shared
+// by the labeled statement itself and any goto that targets it.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.takeLabel()
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		target := b.labelBlock(s.Label.Name)
+		link(b.cur, target)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		merge := b.newBlock()
+		then := b.newBlock()
+		link(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		link(b.cur, merge)
+		if s.Else != nil {
+			els := b.newBlock()
+			link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			link(b.cur, merge)
+		} else {
+			link(cond, merge)
+		}
+		b.cur = merge
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		link(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		link(head, body)
+		exit := b.newBlock()
+		if s.Cond != nil {
+			link(head, exit)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.frames = append(b.frames, frame{label: label, brk: exit, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		link(b.cur, cont)
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			link(b.cur, head)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		link(b.cur, head)
+		body := b.newBlock()
+		link(head, body)
+		exit := b.newBlock()
+		link(head, exit)
+		b.frames = append(b.frames, frame{label: label, brk: exit, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		link(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt) {
+			clause := cc.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range clause.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, clause.Body
+		}, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body.List, func(cc ast.Stmt) ([]ast.Node, []ast.Stmt) {
+			clause := cc.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range clause.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, clause.Body
+		}, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		merge := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, brk: merge, isSwitch: true})
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			link(head, blk)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.add(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			link(b.cur, merge)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A select with no cases blocks forever; merge is then unreachable,
+		// which is exactly right.
+		b.cur = merge
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminalCall(call) {
+			b.terminate()
+		}
+
+	default:
+		// Assignments, declarations, inc/dec, send, go, defer, empty.
+		b.takeLabel()
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch shape: the head block
+// evaluates the case expressions, each clause body is its own block, and
+// everything meets at the merge. allowFall enables fallthrough linking.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, split func(ast.Stmt) ([]ast.Node, []ast.Stmt), allowFall bool) {
+	head := b.cur
+	merge := b.newBlock()
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	b.frames = append(b.frames, frame{label: label, brk: merge, isSwitch: true})
+	hasDefault := false
+	for i, cc := range clauses {
+		exprs, body := split(cc)
+		if len(exprs) == 0 {
+			hasDefault = true
+		}
+		head.Nodes = append(head.Nodes, exprs...)
+		link(head, bodies[i])
+		savedFall := b.fallTo
+		if allowFall && i+1 < len(clauses) {
+			b.fallTo = bodies[i+1]
+		} else {
+			b.fallTo = nil
+		}
+		b.cur = bodies[i]
+		b.stmtList(body)
+		link(b.cur, merge)
+		b.fallTo = savedFall
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		link(head, merge)
+	}
+	b.cur = merge
+}
+
+// branch wires break/continue/goto/fallthrough to their targets.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				link(b.cur, f.brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.cont != nil && (label == "" || f.label == label) {
+				link(b.cur, f.cont)
+				break
+			}
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			link(b.cur, b.labelBlock(s.Label.Name))
+		}
+	case token.FALLTHROUGH:
+		if b.fallTo != nil {
+			link(b.cur, b.fallTo)
+		}
+	}
+	b.terminate()
+}
+
+// isTerminalCall reports whether a call never returns: the panic builtin,
+// os.Exit, runtime.Goexit, and log.Fatal*.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// InspectShallow walks n in the manner of ast.Inspect but never descends
+// into function literals: a CFG node's visitor sees exactly the code that
+// executes in the node's own frame. Deferred and go'ed literal bodies
+// belong to other CFGs.
+func InspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

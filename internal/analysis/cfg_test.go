@@ -1,0 +1,553 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The engine tests drive the CFG, dominator, and dataflow passes with a
+// tiny marker language embedded in parsed Go bodies: gen("x") introduces
+// fact x, kill("x") removes it, and ask("name") records the facts in force
+// at that point. No type information is needed — the builder works on bare
+// syntax.
+
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// markerCall decodes gen/kill/ask marker calls.
+func markerCall(m ast.Node) (verb, name string, ok bool) {
+	call, isCall := m.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 1 {
+		return "", "", false
+	}
+	id, isIdent := call.Fun.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	lit, isLit := call.Args[0].(*ast.BasicLit)
+	if !isLit {
+		return "", "", false
+	}
+	return id.Name, strings.Trim(lit.Value, `"`), true
+}
+
+func markerTransfer(n ast.Node, facts Facts) {
+	InspectShallow(n, func(m ast.Node) bool {
+		verb, name, ok := markerCall(m)
+		if !ok {
+			return true
+		}
+		switch verb {
+		case "gen":
+			facts[name] = true
+		case "kill":
+			delete(facts, name)
+		}
+		return true
+	})
+}
+
+// solveAsks builds the CFG for body, runs the marker dataflow problem, and
+// returns the facts observed at each ask("name") site. An ask in an
+// unreachable block maps to nil.
+func solveAsks(t *testing.T, body string, mode Mode, entry []string) map[string]Facts {
+	t.Helper()
+	cfg := NewCFG(parseBody(t, body))
+	fl := &Flow{CFG: cfg, Mode: mode, Entry: entry, Transfer: markerTransfer}
+	in := fl.Solve()
+
+	asks := make(map[string]Facts)
+	for _, b := range cfg.Blocks {
+		f := in[b.Index].Clone()
+		for _, n := range b.Nodes {
+			InspectShallow(n, func(m ast.Node) bool {
+				verb, name, ok := markerCall(m)
+				if !ok {
+					return true
+				}
+				switch verb {
+				case "gen":
+					if f != nil {
+						f[name] = true
+					}
+				case "kill":
+					if f != nil {
+						delete(f, name)
+					}
+				case "ask":
+					asks[name] = f.Clone()
+				}
+				return true
+			})
+		}
+	}
+	return asks
+}
+
+func wantFact(t *testing.T, asks map[string]Facts, ask, fact string, want bool) {
+	t.Helper()
+	f, ok := asks[ask]
+	if !ok {
+		t.Fatalf("ask %q not seen", ask)
+	}
+	if f[fact] != want {
+		t.Errorf("at ask %q: fact %q = %v, want %v (facts %v)", ask, fact, f[fact], want, f)
+	}
+}
+
+func wantUnreachable(t *testing.T, asks map[string]Facts, ask string) {
+	t.Helper()
+	f, ok := asks[ask]
+	if !ok {
+		t.Fatalf("ask %q not seen", ask)
+	}
+	if f != nil {
+		t.Errorf("ask %q expected unreachable (nil facts), got %v", ask, f)
+	}
+}
+
+func TestStraightLineMust(t *testing.T) {
+	asks := solveAsks(t, `
+		ask("before")
+		gen("a")
+		ask("after")
+		kill("a")
+		ask("end")
+	`, Must, nil)
+	wantFact(t, asks, "before", "a", false)
+	wantFact(t, asks, "after", "a", true)
+	wantFact(t, asks, "end", "a", false)
+}
+
+func TestEntryFacts(t *testing.T) {
+	asks := solveAsks(t, `ask("here")`, Must, []string{"held"})
+	wantFact(t, asks, "here", "held", true)
+}
+
+func TestIfOneBranchMustVsMay(t *testing.T) {
+	body := `
+		if c {
+			gen("a")
+			ask("then")
+		}
+		ask("merge")
+	`
+	must := solveAsks(t, body, Must, nil)
+	wantFact(t, must, "then", "a", true)
+	wantFact(t, must, "merge", "a", false) // else path lacks it
+
+	may := solveAsks(t, body, May, nil)
+	wantFact(t, may, "merge", "a", true) // some path has it
+}
+
+func TestIfBothBranchesMust(t *testing.T) {
+	asks := solveAsks(t, `
+		if c {
+			gen("a")
+		} else {
+			gen("a")
+		}
+		ask("merge")
+	`, Must, nil)
+	wantFact(t, asks, "merge", "a", true)
+}
+
+func TestIfKillInOneBranch(t *testing.T) {
+	asks := solveAsks(t, `
+		gen("a")
+		if c {
+			kill("a")
+		}
+		ask("merge")
+	`, Must, nil)
+	wantFact(t, asks, "merge", "a", false)
+}
+
+func TestReturnPrunesPath(t *testing.T) {
+	// The no-lock path returns early, so the fact must-holds at the ask.
+	asks := solveAsks(t, `
+		if c {
+			gen("a")
+		} else {
+			return
+		}
+		ask("merge")
+	`, Must, nil)
+	wantFact(t, asks, "merge", "a", true)
+}
+
+func TestPanicPrunesPath(t *testing.T) {
+	asks := solveAsks(t, `
+		if c {
+			panic("boom")
+		} else {
+			gen("a")
+		}
+		ask("merge")
+		if d {
+			panic("again")
+			ask("dead")
+		}
+	`, Must, nil)
+	wantFact(t, asks, "merge", "a", true)
+	wantUnreachable(t, asks, "dead")
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	asks := solveAsks(t, `
+		return
+		ask("dead")
+	`, Must, nil)
+	wantUnreachable(t, asks, "dead")
+}
+
+func TestForLoopMustAndMay(t *testing.T) {
+	// A conditional loop may run zero times: facts genned inside never
+	// must-hold after it, but may-hold.
+	body := `
+		for i := 0; i < n; i++ {
+			ask("body")
+			gen("a")
+		}
+		ask("exit")
+	`
+	must := solveAsks(t, body, Must, nil)
+	wantFact(t, must, "body", "a", false) // first iteration enters without it
+	wantFact(t, must, "exit", "a", false)
+
+	may := solveAsks(t, body, May, nil)
+	wantFact(t, may, "exit", "a", true)
+}
+
+func TestLoopKillsFactFromBefore(t *testing.T) {
+	asks := solveAsks(t, `
+		gen("a")
+		for i := 0; i < n; i++ {
+			kill("a")
+		}
+		ask("exit")
+	`, Must, nil)
+	wantFact(t, asks, "exit", "a", false)
+}
+
+func TestLoopPreservesUntouchedFact(t *testing.T) {
+	asks := solveAsks(t, `
+		gen("a")
+		for i := 0; i < n; i++ {
+			use(i)
+			ask("body")
+		}
+		ask("exit")
+	`, Must, nil)
+	wantFact(t, asks, "body", "a", true)
+	wantFact(t, asks, "exit", "a", true)
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	// for{} has no exit edge from the head; only the break reaches the
+	// exit, carrying the genned fact.
+	asks := solveAsks(t, `
+		for {
+			gen("a")
+			if c {
+				break
+			}
+			kill("a")
+		}
+		ask("exit")
+	`, Must, nil)
+	wantFact(t, asks, "exit", "a", true)
+}
+
+func TestContinueSkipsGen(t *testing.T) {
+	asks := solveAsks(t, `
+		for i := 0; i < n; i++ {
+			if c {
+				continue
+			}
+			gen("a")
+			ask("late")
+		}
+	`, Must, nil)
+	// The continue path bypasses gen, so at loop bottom the fact is not
+	// must-held — but after the unconditional gen it is.
+	wantFact(t, asks, "late", "a", true)
+}
+
+func TestRangeLoop(t *testing.T) {
+	body := `
+		for _, v := range xs {
+			gen("a")
+			use(v)
+		}
+		ask("exit")
+	`
+	must := solveAsks(t, body, Must, nil)
+	wantFact(t, must, "exit", "a", false)
+	may := solveAsks(t, body, May, nil)
+	wantFact(t, may, "exit", "a", true)
+}
+
+func TestLabeledBreak(t *testing.T) {
+	asks := solveAsks(t, `
+		gen("a")
+	outer:
+		for {
+			for {
+				kill("a")
+				gen("b")
+				break outer
+			}
+		}
+		ask("exit")
+	`, Must, nil)
+	wantFact(t, asks, "exit", "a", false)
+	wantFact(t, asks, "exit", "b", true)
+}
+
+func TestSwitchMust(t *testing.T) {
+	body := `
+		switch v {
+		case 1:
+			gen("a")
+		case 2:
+			gen("a")
+		}
+		ask("merge")
+	`
+	// No default: the fall-past path lacks the fact.
+	must := solveAsks(t, body, Must, nil)
+	wantFact(t, must, "merge", "a", false)
+
+	withDefault := solveAsks(t, `
+		switch v {
+		case 1:
+			gen("a")
+		default:
+			gen("a")
+		}
+		ask("merge")
+	`, Must, nil)
+	wantFact(t, withDefault, "merge", "a", true)
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	asks := solveAsks(t, `
+		switch v {
+		case 1:
+			gen("a")
+			fallthrough
+		case 2:
+			ask("second")
+		default:
+		}
+	`, May, nil)
+	wantFact(t, asks, "second", "a", true)
+}
+
+func TestTypeSwitch(t *testing.T) {
+	asks := solveAsks(t, `
+		switch v.(type) {
+		case int:
+			gen("a")
+		default:
+			gen("a")
+		}
+		ask("merge")
+	`, Must, nil)
+	wantFact(t, asks, "merge", "a", true)
+}
+
+func TestSelect(t *testing.T) {
+	body := `
+		select {
+		case <-ch1:
+			gen("a")
+		case <-ch2:
+		}
+		ask("merge")
+	`
+	must := solveAsks(t, body, Must, nil)
+	wantFact(t, must, "merge", "a", false)
+	may := solveAsks(t, body, May, nil)
+	wantFact(t, may, "merge", "a", true)
+}
+
+func TestFuncLitBodyIsOpaque(t *testing.T) {
+	// gen inside a function literal runs in another frame; it must not
+	// leak into this function's facts.
+	asks := solveAsks(t, `
+		f := func() {
+			gen("a")
+		}
+		use(f)
+		ask("after")
+	`, May, nil)
+	wantFact(t, asks, "after", "a", false)
+}
+
+// askBlock finds the block containing ask(name).
+func askBlock(t *testing.T, cfg *CFG, name string) *Block {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		found := false
+		for _, n := range b.Nodes {
+			InspectShallow(n, func(m ast.Node) bool {
+				if verb, got, ok := markerCall(m); ok && verb == "ask" && got == name {
+					found = true
+				}
+				return true
+			})
+		}
+		if found {
+			return b
+		}
+	}
+	t.Fatalf("ask %q not found in any block", name)
+	return nil
+}
+
+func TestDominators(t *testing.T) {
+	cfg := NewCFG(parseBody(t, `
+		ask("entry")
+		if c {
+			ask("then")
+		} else {
+			ask("else")
+		}
+		ask("merge")
+	`))
+	idom := cfg.Dominators()
+	entry := askBlock(t, cfg, "entry").Index
+	then := askBlock(t, cfg, "then").Index
+	els := askBlock(t, cfg, "else").Index
+	merge := askBlock(t, cfg, "merge").Index
+
+	if !Dominates(idom, entry, then) || !Dominates(idom, entry, els) || !Dominates(idom, entry, merge) {
+		t.Errorf("entry should dominate all blocks")
+	}
+	if Dominates(idom, then, merge) {
+		t.Errorf("then branch must not dominate the merge (else path bypasses it)")
+	}
+	if Dominates(idom, then, els) || Dominates(idom, els, then) {
+		t.Errorf("sibling branches must not dominate each other")
+	}
+	if !Dominates(idom, merge, merge) {
+		t.Errorf("a block dominates itself")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	cfg := NewCFG(parseBody(t, `
+		ask("pre")
+		for i := 0; i < n; i++ {
+			ask("body")
+		}
+		ask("post")
+	`))
+	idom := cfg.Dominators()
+	pre := askBlock(t, cfg, "pre").Index
+	body := askBlock(t, cfg, "body").Index
+	post := askBlock(t, cfg, "post").Index
+	if !Dominates(idom, pre, body) || !Dominates(idom, pre, post) {
+		t.Errorf("code before the loop should dominate body and exit")
+	}
+	if Dominates(idom, body, post) {
+		t.Errorf("zero-iteration path means the body must not dominate the exit")
+	}
+}
+
+func TestLoopBlocks(t *testing.T) {
+	cfg := NewCFG(parseBody(t, `
+		ask("pre")
+		for i := 0; i < n; i++ {
+			ask("body")
+			if c {
+				ask("nested")
+			}
+		}
+		ask("post")
+	`))
+	inLoop := cfg.LoopBlocks(cfg.Dominators())
+	if inLoop[askBlock(t, cfg, "pre").Index] {
+		t.Errorf("pre-loop block wrongly marked in-loop")
+	}
+	if !inLoop[askBlock(t, cfg, "body").Index] {
+		t.Errorf("loop body not marked in-loop")
+	}
+	if !inLoop[askBlock(t, cfg, "nested").Index] {
+		t.Errorf("branch inside loop body not marked in-loop")
+	}
+	if inLoop[askBlock(t, cfg, "post").Index] {
+		t.Errorf("post-loop block wrongly marked in-loop")
+	}
+}
+
+func TestLoopBlocksTwoLoops(t *testing.T) {
+	// Two sequential loops: each back edge must get its own walk, or the
+	// second loop's body is missed.
+	cfg := NewCFG(parseBody(t, `
+		for i := 0; i < n; i++ {
+			ask("first")
+		}
+		for j := 0; j < n; j++ {
+			ask("second")
+		}
+		ask("after")
+	`))
+	inLoop := cfg.LoopBlocks(cfg.Dominators())
+	if !inLoop[askBlock(t, cfg, "first").Index] {
+		t.Errorf("first loop body not marked in-loop")
+	}
+	if !inLoop[askBlock(t, cfg, "second").Index] {
+		t.Errorf("second loop body not marked in-loop")
+	}
+	if inLoop[askBlock(t, cfg, "after").Index] {
+		t.Errorf("block after both loops wrongly marked in-loop")
+	}
+}
+
+func TestGotoLoopDetected(t *testing.T) {
+	// A goto-formed loop has no for statement; only the dominator-based
+	// back-edge test finds it.
+	cfg := NewCFG(parseBody(t, `
+	again:
+		ask("body")
+		if c {
+			goto again
+		}
+		ask("after")
+	`))
+	inLoop := cfg.LoopBlocks(cfg.Dominators())
+	if !inLoop[askBlock(t, cfg, "body").Index] {
+		t.Errorf("goto-formed loop body not marked in-loop")
+	}
+	if inLoop[askBlock(t, cfg, "after").Index] {
+		t.Errorf("block after goto loop wrongly marked in-loop")
+	}
+}
+
+func TestGotoFacts(t *testing.T) {
+	asks := solveAsks(t, `
+		gen("a")
+	again:
+		ask("head")
+		kill("a")
+		if c {
+			goto again
+		}
+	`, Must, nil)
+	// The back edge re-enters without the fact.
+	wantFact(t, asks, "head", "a", false)
+}

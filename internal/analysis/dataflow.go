@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"maps"
+)
+
+// A small forward dataflow engine over the CFG: rules describe facts (a
+// lock is held, a context is reachable) through a Transfer function, pick
+// the merge semantics, and get back the facts in force at the entry of
+// every block. Must-facts survive only when they hold on every path from
+// the entry (branch merges intersect), may-facts when they hold on some
+// path (merges union) — the difference between proving a lock is held and
+// suspecting it might be.
+
+// Facts is a set of named dataflow facts.
+type Facts map[string]bool
+
+// Clone returns an independent copy of f (nil stays nil).
+func (f Facts) Clone() Facts { return maps.Clone(f) }
+
+// Mode selects a Flow's merge operator.
+type Mode int
+
+const (
+	// Must keeps a fact only when every predecessor path carries it.
+	Must Mode = iota
+	// May keeps a fact when any predecessor path carries it.
+	May
+)
+
+// Flow is one forward dataflow problem over a CFG.
+type Flow struct {
+	CFG   *CFG
+	Mode  Mode
+	Entry []string // facts in force at function entry
+	// Transfer updates facts in place for one CFG node. It is called in
+	// block order during solving and may be reused by rules to replay a
+	// block up to a node of interest.
+	Transfer func(n ast.Node, facts Facts)
+}
+
+// Solve iterates the problem to a fixed point and returns the fact set at
+// the entry of each block, indexed by Block.Index. A nil set marks a block
+// unreachable from the entry: under Must semantics every fact vacuously
+// holds there, under May none do; rules should skip such blocks.
+func (fl *Flow) Solve() []Facts {
+	n := len(fl.CFG.Blocks)
+	in := make([]Facts, n)
+	out := make([]Facts, n)
+	entry := Facts{}
+	for _, f := range fl.Entry {
+		entry[f] = true
+	}
+	in[0] = entry
+
+	apply := func(b *Block) Facts {
+		f := in[b.Index].Clone()
+		if f == nil {
+			return nil
+		}
+		for _, node := range b.Nodes {
+			fl.Transfer(node, f)
+		}
+		return f
+	}
+
+	preds := fl.CFG.Preds()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fl.CFG.Blocks {
+			if in[b.Index] != nil {
+				o := apply(b)
+				if !maps.Equal(o, out[b.Index]) || (o == nil) != (out[b.Index] == nil) {
+					out[b.Index] = o
+					changed = true
+				}
+			}
+			for _, s := range fl.CFG.Blocks {
+				if s.Index == 0 {
+					continue
+				}
+				merged := mergeFacts(fl.Mode, preds[s.Index], out)
+				if merged == nil {
+					continue
+				}
+				if in[s.Index] == nil || !maps.Equal(merged, in[s.Index]) {
+					in[s.Index] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// mergeFacts folds the outs of every reachable predecessor.
+func mergeFacts(mode Mode, preds []*Block, out []Facts) Facts {
+	var acc Facts
+	for _, p := range preds {
+		po := out[p.Index]
+		if po == nil {
+			continue // unreachable predecessor contributes nothing
+		}
+		if acc == nil {
+			acc = po.Clone()
+			continue
+		}
+		if mode == May {
+			maps.Copy(acc, po)
+			continue
+		}
+		// Must: intersect. Set operations are order-insensitive.
+		//lint:ignore nondeterminism set intersection is commutative, visit order cannot change the result
+		for k := range acc {
+			if !po[k] {
+				delete(acc, k)
+			}
+		}
+	}
+	return acc
+}

@@ -1,0 +1,137 @@
+package analysis
+
+// Dominator-tree computation over a CFG, using the Cooper–Harvey–Kennedy
+// iterative algorithm ("A Simple, Fast Dominance Algorithm"). Block a
+// dominates block b when every path from the entry to b passes through a;
+// the lock-guard rule uses this to prove a Lock site governs a mutation
+// site, and the context rule uses dominator-identified back edges to find
+// loops (including goto loops a syntactic walk would miss).
+
+// Dominators returns the immediate dominator of every block, indexed by
+// Block.Index. The entry block and blocks unreachable from it have idom -1.
+func (c *CFG) Dominators() []int {
+	n := len(c.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return idom
+	}
+
+	// Postorder numbering of the reachable subgraph.
+	post := make([]int, n) // block index -> postorder number, -1 unreachable
+	for i := range post {
+		post[i] = -1
+	}
+	var order []int // block indices in postorder
+	seen := make([]bool, n)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post[b.Index] = len(order)
+		order = append(order, b.Index)
+	}
+	dfs(c.Blocks[0])
+
+	preds := c.Preds()
+	entry := c.Blocks[0].Index
+	idom[entry] = entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for post[a] < post[b] {
+				a = idom[a]
+			}
+			for post[b] < post[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Reverse postorder, skipping the entry.
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if post[p.Index] < 0 || idom[p.Index] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(newIdom, p.Index)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = -1
+	return idom
+}
+
+// Dominates reports whether block a dominates block b (a block dominates
+// itself), given the idom array from Dominators. Unreachable blocks are
+// dominated by nothing but themselves.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b < 0 || idom[b] < 0 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// LoopBlocks reports, for every block, whether it lies inside a natural
+// loop: a back edge is an edge n→h whose target h dominates its source n,
+// and the loop body is h plus every block that reaches n without passing
+// through h.
+func (c *CFG) LoopBlocks(idom []int) []bool {
+	inLoop := make([]bool, len(c.Blocks))
+	preds := c.Preds()
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if !Dominates(idom, s.Index, b.Index) {
+				continue
+			}
+			// Back edge b -> s: the loop is s plus every block reaching b
+			// without passing through s. Each back edge gets its own visited
+			// set — sharing one across loops would truncate the second walk.
+			h := s.Index
+			visited := make([]bool, len(c.Blocks))
+			visited[h] = true
+			inLoop[h] = true
+			stack := []int{b.Index}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if visited[x] {
+					continue
+				}
+				visited[x] = true
+				inLoop[x] = true
+				for _, p := range preds[x] {
+					stack = append(stack, p.Index)
+				}
+			}
+		}
+	}
+	return inLoop
+}

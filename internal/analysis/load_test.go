@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadRejectsUnparseableFile(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod":       "module example.test\n\ngo 1.22\n",
+		"bad/bad.go":   "package bad\n\nfunc Broken( {\n",
+		"bad/other.go": "package bad\n\nfunc Fine() {}\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(filepath.Join(root, "bad")); err == nil {
+		t.Fatal("expected a parse error from bad/")
+	} else if !strings.Contains(err.Error(), "bad.go") {
+		t.Fatalf("parse error does not name the file: %v", err)
+	}
+}
+
+func TestLoadRejectsEmptyPackage(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod":           "module example.test\n\ngo 1.22\n",
+		"empty/notes.txt":  "no go files here\n",
+		"empty/x_test.go":  "package empty\n", // test files are excluded
+		"empty/_hidden.go": "package empty\n", // underscore files are excluded
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(filepath.Join(root, "empty")); err == nil {
+		t.Fatal("expected an error for a directory with no buildable Go files")
+	} else if !strings.Contains(err.Error(), "no buildable Go files") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadRejectsDirOutsideRoot(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+	})
+	outside := t.TempDir()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(outside); err == nil {
+		t.Fatal("expected an error loading a directory outside the module root")
+	} else if !strings.Contains(err.Error(), "outside module root") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadDetectsImportCycle(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"x/x.go": "package x\n\nimport \"example.test/y\"\n\nvar V = y.W\n",
+		"y/y.go": "package y\n\nimport \"example.test/x\"\n\nvar W = x.V\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(filepath.Join(root, "x")); err == nil {
+		t.Fatal("expected an import-cycle error")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestExpandPatternsSkipsNonPackageDirs(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module example.test\n\ngo 1.22\n",
+		"real/real.go":          "package real\n",
+		"real/testdata/t.go":    "package broken !\n", // never parsed
+		"vendor/v/v.go":         "package v\n",
+		"_wip/w.go":             "package w\n",
+		".hidden/h.go":          "package h\n",
+		"real/sub/notgo.txt":    "prose\n",
+		"deeper/pkg/pkg.go":     "package pkg\n",
+		"deeper/pkg/extra_test": "not a go file\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rel []string
+	for _, d := range dirs {
+		r, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = append(rel, filepath.ToSlash(r))
+	}
+	want := []string{"deeper/pkg", "real"}
+	if strings.Join(rel, ",") != strings.Join(want, ",") {
+		t.Fatalf("ExpandPatterns(./...) = %v, want %v", rel, want)
+	}
+}
+
+func TestLoadPatternsPropagatesLoadErrors(t *testing.T) {
+	t.Parallel()
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module example.test\n\ngo 1.22\n",
+		"ok/ok.go":   "package ok\n",
+		"bad/bad.go": "package bad\n\nfunc Broken() int { return \"nope\" }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadPatterns([]string{"./..."}); err == nil {
+		t.Fatal("expected LoadPatterns to surface the type error in bad/")
+	}
+}

@@ -1,0 +1,165 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Ctxflow keeps cancellation plumbed through the serving paths. The
+// gateway, cloud, and farm packages run session and accept loops whose
+// blocking calls (farm admission, backhaul sends, decode submissions) must
+// observe the session's context so a dead connection unwinds promptly. A
+// context.Background() (or TODO()) call in that code is wrong in two
+// shapes, both detected on the control-flow graph:
+//
+//   - a context.Context is provably in scope (must-fact: parameter or an
+//     earlier assignment on every path) and the code mints a fresh root
+//     instead of threading it — the derived work becomes uncancellable;
+//   - the call sits inside a loop (natural loops via dominator back edges,
+//     so goto-formed loops count): minting per-iteration root contexts in
+//     a session/accept loop detaches every iteration from session
+//     teardown.
+//
+// A root-level context.Background() before any context exists (session
+// setup, library entry points without a ctx parameter) is legitimate and
+// stays silent.
+var Ctxflow = &analysis.Analyzer{
+	Name:  "ctxflow",
+	Doc:   "session/accept loops must thread context.Context instead of minting context.Background() mid-flow",
+	Match: analysis.MatchPathSuffix("internal/gateway", "internal/cloud", "internal/farm"),
+	Run:   runCtxflow,
+}
+
+// ctxWork is one function body queued for analysis: function literals are
+// analyzed as their own CFGs, inheriting whether a context was reachable
+// where the literal occurs (closures capture it).
+type ctxWork struct {
+	body   *ast.BlockStmt
+	hasCtx bool
+}
+
+func runCtxflow(pass *analysis.Pass) {
+	var queue []ctxWork
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			queue = append(queue, ctxWork{body: fd.Body, hasCtx: funcTypeHasCtx(pass, fd.Type)})
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		queue = append(queue, ctxflowBody(pass, w)...)
+	}
+}
+
+// ctxflowBody analyzes one function body and returns the function literals
+// found inside it, each tagged with the context reachability at its
+// occurrence point.
+func ctxflowBody(pass *analysis.Pass, w ctxWork) []ctxWork {
+	cfg := analysis.NewCFG(w.body)
+	transfer := func(n ast.Node, facts analysis.Facts) {
+		analysis.InspectShallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range m.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && isContextType(pass.Info.TypeOf(id)) {
+						facts["ctx"] = true
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range m.Names {
+					if isContextType(pass.Info.TypeOf(name)) {
+						facts["ctx"] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	var entry []string
+	if w.hasCtx {
+		entry = []string{"ctx"}
+	}
+	fl := &analysis.Flow{CFG: cfg, Mode: analysis.Must, Entry: entry, Transfer: transfer}
+	in := fl.Solve()
+	inLoop := cfg.LoopBlocks(cfg.Dominators())
+
+	var lits []ctxWork
+	for _, b := range cfg.Blocks {
+		facts := in[b.Index].Clone()
+		if facts == nil {
+			continue // unreachable
+		}
+		looped := inLoop[b.Index]
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.FuncLit); ok && m != n {
+					lits = append(lits, ctxWork{body: lit.Body, hasCtx: facts["ctx"] || funcTypeHasCtx(pass, lit.Type)})
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := contextRootCall(pass, call)
+				if !ok {
+					return true
+				}
+				switch {
+				case facts["ctx"]:
+					pass.Reportf(call.Pos(), "context.%s() called with a context.Context already in scope; thread the existing ctx so this work stays cancellable", name)
+				case looped:
+					pass.Reportf(call.Pos(), "context.%s() minted inside a loop; hoist it before the loop or thread the session context", name)
+				}
+				return true
+			})
+			transfer(n, facts)
+		}
+	}
+	return lits
+}
+
+// contextRootCall recognizes context.Background() / context.TODO().
+func contextRootCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// funcTypeHasCtx reports whether a signature carries a context.Context
+// parameter.
+func funcTypeHasCtx(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if isContextType(pass.Info.TypeOf(f.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

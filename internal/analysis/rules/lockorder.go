@@ -1,0 +1,438 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// LockOrder hunts AB-BA deadlocks: it tracks which locks are may-held at
+// every acquisition site (dataflow over the CFG), follows synchronous
+// intra-package calls through per-function acquisition summaries, and
+// builds a package-wide lock-order graph over type-level lock names
+// (Farm.mu, registryMu). A cycle in that graph means two code paths
+// acquire the same pair of locks in opposite orders — the classic deadlock
+// the race detector only catches when the schedule actually interleaves.
+// A must-held lock re-acquired on the same instance is reported as a
+// certain self-deadlock.
+//
+// Precision choices: lock instances are named (receiver field chains,
+// package vars, locals); edges between two instances of the same
+// type-level name are skipped (locking two Spools in a row is ordered by
+// the caller, not by this graph), and locals never enter the graph (a
+// per-frame lock cannot cross goroutines). go'ed calls contribute nothing
+// — the new goroutine starts with no locks held — while deferred calls
+// are treated as synchronous at their site, matching LIFO defer order for
+// the common defer-unlock pairing.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "builds the package's inter-procedural lock-acquisition order graph and reports cycles (AB-BA deadlocks) and re-entrant locks",
+	Run:  runLockOrder,
+}
+
+// lockUnit is one analyzed body: a declared function/method or a function
+// literal (which runs in its own frame but names receiver locks through
+// the enclosing method's receiver).
+type lockUnit struct {
+	body *ast.BlockStmt
+	recv types.Object // enclosing method receiver, nil otherwise
+	tn   string       // receiver type name for recv.* keys
+	fn   *types.Func  // nil for literals
+}
+
+// lockEdge is one observed acquisition order: to was acquired (directly or
+// via a call) while from was held.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func runLockOrder(pass *analysis.Pass) {
+	units := collectLockUnits(pass)
+	summaries := buildLockSummaries(pass, units)
+
+	var edges []lockEdge
+	for _, u := range units {
+		edges = append(edges, lockUnitEdges(pass, u, summaries)...)
+	}
+
+	// Keep the first site of each distinct edge (units are walked in file
+	// order, so "first" is deterministic).
+	seen := make(map[[2]string]bool)
+	adj := make(map[string][]string)
+	var uniq []lockEdge
+	for _, e := range edges {
+		k := [2]string{e.from, e.to}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, e)
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+
+	comp, members := cyclicComponents(adj)
+	for _, e := range uniq {
+		cf, okF := comp[e.from]
+		ct, okT := comp[e.to]
+		if !okF || !okT || cf != ct {
+			continue // an edge is cyclic only within one strongly connected component
+		}
+		pass.Reportf(e.pos, "acquiring %s while holding %s is part of a lock-order cycle [%s]; potential AB-BA deadlock", e.to, e.from, strings.Join(members[cf], ", "))
+	}
+}
+
+// collectLockUnits gathers every function body in the package, literals
+// included, in deterministic file order.
+func collectLockUnits(pass *analysis.Pass) []*lockUnit {
+	var units []*lockUnit
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var recv types.Object
+			tn := ""
+			if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+				recv = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+				if recv != nil {
+					if named := namedRecvType(recv.Type()); named != nil {
+						tn = named.Obj().Name()
+					}
+				}
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			units = append(units, &lockUnit{body: fd.Body, recv: recv, tn: tn, fn: fn})
+			// Literals inherit the receiver for lock naming; their bodies
+			// run in separate frames so they are separate units.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					units = append(units, &lockUnit{body: lit.Body, recv: recv, tn: tn})
+				}
+				return true
+			})
+		}
+	}
+	return units
+}
+
+// lockNameOf maps an instance fact key to its type-level graph name.
+// Locals stay out of the graph (ok=false).
+func lockNameOf(u *lockUnit, key string) (string, bool) {
+	switch {
+	case key == "recv" || strings.HasPrefix(key, "recv."):
+		if u.tn == "" {
+			return "", false
+		}
+		return u.tn + strings.TrimPrefix(key, "recv"), true
+	case strings.HasPrefix(key, "g:"):
+		return strings.TrimPrefix(key, "g:"), true
+	default:
+		return "", false
+	}
+}
+
+// buildLockSummaries computes, per declared function, the set of
+// type-level lock names it may acquire transitively through synchronous
+// intra-package calls. Sets only grow, so iterating to a fixed point
+// terminates.
+func buildLockSummaries(pass *analysis.Pass, units []*lockUnit) map[*types.Func]map[string]bool {
+	type fnInfo struct {
+		own     []string
+		callees []*types.Func
+	}
+	infos := make(map[*types.Func]*fnInfo)
+	var order []*types.Func
+	for _, u := range units {
+		if u.fn == nil {
+			continue
+		}
+		info := &fnInfo{}
+		uu := u
+		analysis.InspectShallow(u.body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false // runs with its own empty lock set
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, target := classifyLockCall(pass, call); op == opLock || op == opRLock {
+				if key, ok := lockKey(pass, target, uu.recv); ok {
+					if name, ok := lockNameOf(uu, key); ok {
+						info.own = append(info.own, name)
+					}
+				}
+				return true
+			}
+			if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() == pass.Pkg {
+				info.callees = append(info.callees, fn)
+			}
+			return true
+		})
+		infos[u.fn] = info
+		order = append(order, u.fn)
+	}
+
+	summaries := make(map[*types.Func]map[string]bool)
+	for _, fn := range order {
+		s := make(map[string]bool)
+		for _, n := range infos[fn].own {
+			s[n] = true
+		}
+		summaries[fn] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			s := summaries[fn]
+			for _, callee := range infos[fn].callees {
+				cs, ok := summaries[callee]
+				if !ok {
+					continue // method of another package's type, or no body here
+				}
+				var names []string
+				//lint:ignore nondeterminism the collected names are sorted before use
+				for n := range cs {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				for _, n := range names {
+					if !s[n] {
+						s[n] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return summaries
+}
+
+// lockUnitEdges runs the held-lock dataflow over one body and emits order
+// edges at every acquisition and synchronous callsite, plus self-deadlock
+// diagnostics for must-held re-acquisitions.
+func lockUnitEdges(pass *analysis.Pass, u *lockUnit, summaries map[*types.Func]map[string]bool) []lockEdge {
+	cfg := analysis.NewCFG(u.body)
+	transfer := lockTransfer(pass, u.recv)
+	may := (&analysis.Flow{CFG: cfg, Mode: analysis.May, Transfer: transfer}).Solve()
+	must := (&analysis.Flow{CFG: cfg, Mode: analysis.Must, Transfer: transfer}).Solve()
+
+	var edges []lockEdge
+	for _, b := range cfg.Blocks {
+		mayF := may[b.Index].Clone()
+		mustF := must[b.Index].Clone()
+		if mayF == nil {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			visitLockSites(pass, n, func(call *ast.CallExpr, deferred bool) {
+				op, target := classifyLockCall(pass, call)
+				if op == opLock || op == opRLock {
+					if deferred {
+						return // a deferred acquisition has no defined order
+					}
+					key, ok := lockKey(pass, target, u.recv)
+					if !ok {
+						return
+					}
+					if mustF != nil && op == opLock && (mustF["w:"+key] || mustF["r:"+key]) {
+						pass.Reportf(call.Pos(), "%s locked while already held on every path here; this deadlocks the goroutine", lockSiteDisplay(u, key))
+						return
+					}
+					name, named := lockNameOf(u, key)
+					for _, h := range heldInstanceKeys(mayF) {
+						if h == key {
+							continue // may-held re-lock: only certain (must) cases are reported
+						}
+						hn, ok := lockNameOf(u, h)
+						if !ok || !named || hn == name {
+							continue // locals, or two instances of the same field
+						}
+						edges = append(edges, lockEdge{from: hn, to: name, pos: call.Pos()})
+					}
+					return
+				}
+				if op != opNone {
+					return
+				}
+				fn := calleeFunc(pass, call)
+				if fn == nil {
+					return
+				}
+				acq, ok := summaries[fn]
+				if !ok || len(acq) == 0 {
+					return
+				}
+				var names []string
+				//lint:ignore nondeterminism the collected names are sorted before use
+				for n := range acq {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				for _, h := range heldInstanceKeys(mayF) {
+					hn, ok := lockNameOf(u, h)
+					if !ok {
+						continue
+					}
+					for _, n := range names {
+						if n != hn {
+							edges = append(edges, lockEdge{from: hn, to: n, pos: call.Pos()})
+						}
+					}
+				}
+			})
+			transfer(n, mayF)
+			if mustF != nil {
+				transfer(n, mustF)
+			}
+		}
+	}
+	return edges
+}
+
+// visitLockSites walks one CFG node and calls visit for every call that
+// executes in this frame: plain calls, and deferred calls (flagged) which
+// run at function exit. go'ed calls and literal bodies are skipped.
+func visitLockSites(pass *analysis.Pass, n ast.Node, visit func(call *ast.CallExpr, deferred bool)) {
+	deferred := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		deferred = true
+		n = d.Call
+	}
+	analysis.InspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			visitLockSites(pass, m.Call, func(call *ast.CallExpr, _ bool) { visit(call, true) })
+			return false
+		case *ast.CallExpr:
+			visit(m, deferred)
+		}
+		return true
+	})
+}
+
+// heldInstanceKeys lists the instance keys of every held lock (read or
+// write), sorted for deterministic edge emission.
+func heldInstanceKeys(facts analysis.Facts) []string {
+	var keys []string
+	for k := range facts {
+		if strings.HasPrefix(k, "w:") || strings.HasPrefix(k, "r:") {
+			keys = append(keys, k[2:])
+		}
+	}
+	sort.Strings(keys)
+	// A lock both read- and write-held appears twice; collapse.
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// lockSiteDisplay renders an instance key for a diagnostic.
+func lockSiteDisplay(u *lockUnit, key string) string {
+	if name, ok := lockNameOf(u, key); ok {
+		return name
+	}
+	s := strings.TrimPrefix(key, "l:")
+	if at := strings.Index(s, "@"); at >= 0 {
+		rest := ""
+		if dot := strings.Index(s, "."); dot > at {
+			rest = s[dot:]
+		}
+		s = s[:at] + rest
+	}
+	return s
+}
+
+// cyclicComponents finds the strongly connected components of size > 1
+// (same-name self-edges are filtered before the graph is built) and
+// returns each cyclic node's component ID plus the sorted member list per
+// component.
+func cyclicComponents(adj map[string][]string) (map[string]int, map[int][]string) {
+	var nodes []string
+	//lint:ignore nondeterminism the collected names are sorted before use
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	//lint:ignore nondeterminism the collected names are sorted and deduplicated below
+	for _, succs := range adj {
+		nodes = append(nodes, succs...)
+	}
+	sort.Strings(nodes)
+	uniq := nodes[:0]
+	for i, n := range nodes {
+		if i == 0 || nodes[i-1] != n {
+			uniq = append(uniq, n)
+		}
+	}
+	nodes = uniq
+
+	// Tarjan's strongly-connected components, deterministic via the sorted
+	// node and adjacency order.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	comp := make(map[string]int)
+	members := make(map[int][]string)
+	compID := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				for _, w := range scc {
+					comp[w] = compID
+				}
+				members[compID] = scc
+				compID++
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp, members
+}

@@ -1,0 +1,203 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Lock-site classification shared by the unguardedstats proof and the
+// lockorder analyzer: recognizing mu.Lock()/mu.Unlock() calls on
+// sync.Mutex / sync.RWMutex values and naming the lock instance with a
+// stable fact key.
+//
+// Fact keys identify one lock instance within one function's dataflow:
+//
+//	recv.mu        a field chain rooted at the method receiver
+//	g:pkgvar.mu    a chain rooted at a package-level variable
+//	l:name@pos.mu  a chain rooted at a local variable (pos disambiguates)
+//
+// Held write locks carry a "w:" prefix, read locks "r:". Keys are only
+// compared for equality, never printed in diagnostics.
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+	opRLock
+	opRUnlock
+)
+
+// isMutexType reports whether t (after pointer unwrapping) is sync.Mutex
+// or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// classifyLockCall recognizes a Lock/Unlock/RLock/RUnlock call on a mutex
+// and returns the operation plus the mutex expression. TryLock variants
+// return opNone: their acquisition is conditional, so no fact may be
+// genned without branch awareness.
+func classifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (lockOp, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, nil
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "Unlock":
+		op = opUnlock
+	case "RLock":
+		op = opRLock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return opNone, nil
+	}
+	if !isMutexType(pass.Info.TypeOf(sel.X)) {
+		return opNone, nil
+	}
+	return op, sel.X
+}
+
+// lockKey names the lock instance expr refers to (see the key grammar
+// above). recv, when non-nil, is the enclosing method's receiver object;
+// chains rooted at it become "recv."-keys so facts translate across
+// methods of the same type. Expressions the keyer cannot prove stable
+// (index expressions, call results) return ok=false.
+func lockKey(pass *analysis.Pass, expr ast.Expr, recv types.Object) (string, bool) {
+	var path []string
+	e := ast.Unparen(expr)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			path = append(path, x.Sel.Name)
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			if obj == nil {
+				return "", false
+			}
+			var root string
+			switch {
+			case recv != nil && obj == recv:
+				root = "recv"
+			case obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope():
+				root = "g:" + obj.Name()
+			default:
+				root = "l:" + obj.Name() + "@" + strconv.Itoa(int(obj.Pos()))
+			}
+			if len(path) == 0 {
+				return root, true
+			}
+			// path was appended innermost-first; reverse into source order.
+			var b strings.Builder
+			b.WriteString(root)
+			for i := len(path) - 1; i >= 0; i-- {
+				b.WriteString(".")
+				b.WriteString(path[i])
+			}
+			return b.String(), true
+		default:
+			return "", false
+		}
+	}
+}
+
+// lockTransfer builds a dataflow Transfer that tracks held locks: Lock
+// gens "w:<key>", RLock gens "r:<key>", the unlocks kill them. Deferred
+// and go'ed statements are skipped — a deferred Unlock runs at function
+// exit and so never releases the lock on the paths the function body
+// executes, which is exactly what makes defer mu.Unlock() a proof of
+// whole-body guarding.
+func lockTransfer(pass *analysis.Pass, recv types.Object) func(ast.Node, analysis.Facts) {
+	return func(n ast.Node, facts analysis.Facts) {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return
+		}
+		analysis.InspectShallow(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.DeferStmt); ok {
+				return false
+			}
+			if _, ok := m.(*ast.GoStmt); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op, target := classifyLockCall(pass, call)
+			if op == opNone {
+				return true
+			}
+			key, ok := lockKey(pass, target, recv)
+			if !ok {
+				return true
+			}
+			switch op {
+			case opLock:
+				facts["w:"+key] = true
+			case opUnlock:
+				delete(facts, "w:"+key)
+			case opRLock:
+				facts["r:"+key] = true
+			case opRUnlock:
+				delete(facts, "r:"+key)
+			}
+			return true
+		})
+	}
+}
+
+// heldWriteLocks extracts the write-lock keys from a fact set, sorted for
+// deterministic downstream iteration.
+func heldWriteLocks(facts analysis.Facts) []string {
+	var keys []string
+	for k := range facts {
+		if strings.HasPrefix(k, "w:") {
+			keys = append(keys, strings.TrimPrefix(k, "w:"))
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// restrictToLockFacts drops every fact that is not a held-lock fact,
+// returning the callsite facts a callee may inherit.
+func restrictToLockFacts(facts analysis.Facts) analysis.Facts {
+	out := analysis.Facts{}
+	for k := range facts {
+		if strings.HasPrefix(k, "w:") || strings.HasPrefix(k, "r:") {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -49,6 +49,16 @@ func TestUnguardedStats(t *testing.T) {
 	analysistest.Run(t, "testdata/src", rules.UnguardedStats, "unguardedstats", "unguardedstats/calm")
 }
 
+func TestCtxflow(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, "testdata/src", rules.Ctxflow, "ctxflow/internal/gateway")
+}
+
+func TestLockOrder(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, "testdata/src", rules.LockOrder, "lockorder")
+}
+
 func TestMatchScoping(t *testing.T) {
 	t.Parallel()
 	// Path-scoped analyzers must not fire outside their packages: run the

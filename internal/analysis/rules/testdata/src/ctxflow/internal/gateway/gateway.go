@@ -1,0 +1,75 @@
+// Package gateway is golden-test data for the ctxflow analyzer: session
+// and accept loops must thread context.Context instead of minting
+// context.Background() mid-flow.
+package gateway
+
+import "context"
+
+func blockingCall(ctx context.Context) error { return ctx.Err() }
+
+// Dropped has a context in scope and mints a fresh root anyway.
+func Dropped(ctx context.Context) error {
+	return blockingCall(context.Background()) // want "ctxflow: context.Background\\(\\) called with a context.Context already in scope"
+}
+
+// Threaded passes the session context through: not flagged.
+func Threaded(ctx context.Context) error {
+	return blockingCall(ctx)
+}
+
+// SessionRoot mints the session's root context before any context exists
+// — the legitimate entry-point pattern: not flagged.
+func SessionRoot() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return blockingCall(ctx)
+}
+
+// LoopMint creates a root context per iteration of an accept-style loop;
+// even with no outer context in scope the loop shape is flagged.
+func LoopMint(conns []int) {
+	for range conns {
+		_ = blockingCall(context.TODO()) // want "ctxflow: context.TODO\\(\\) minted inside a loop"
+	}
+}
+
+// LoopThreaded keeps the loop on the session context: not flagged.
+func LoopThreaded(ctx context.Context, conns []int) {
+	for range conns {
+		_ = blockingCall(ctx)
+	}
+}
+
+// DerivedLate flags the re-rooting even after the context is rebound.
+func DerivedLate(ctx context.Context, seq []int) {
+	for range seq {
+		c := context.Background() // want "ctxflow: context.Background\\(\\) called with a context.Context already in scope"
+		_ = blockingCall(c)
+	}
+}
+
+// ClosureInherits: a literal spawned where a context is reachable must
+// thread it too.
+func ClosureInherits(ctx context.Context) func() error {
+	return func() error {
+		return blockingCall(context.Background()) // want "ctxflow: context.Background\\(\\) called with a context.Context already in scope"
+	}
+}
+
+// ClosureFresh runs where no context is reachable: its root mint is the
+// entry-point pattern, not flagged.
+func ClosureFresh() func() error {
+	return func() error {
+		return blockingCall(context.Background())
+	}
+}
+
+// BranchOnly defines a context on only one path; at the merge there is no
+// must-reachable context, so the fallback root is allowed.
+func BranchOnly(have bool) error {
+	if have {
+		ctx := context.WithoutCancel(context.Background())
+		return blockingCall(ctx)
+	}
+	return blockingCall(context.Background())
+}

@@ -1,0 +1,120 @@
+// Package lockorder is golden-test data for the lockorder analyzer:
+// opposite acquisition orders of the same lock pair form a cycle, helper
+// calls propagate acquisitions, and consistent orders stay silent.
+package lockorder
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+// ForwardAB and BackwardBA acquire the same pair in opposite orders: the
+// classic AB-BA deadlock, reported at both closing edges.
+func ForwardAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock() // want "lockorder: acquiring muB while holding muA is part of a lock-order cycle"
+	defer muB.Unlock()
+}
+
+func BackwardBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock() // want "lockorder: acquiring muA while holding muB is part of a lock-order cycle"
+	defer muA.Unlock()
+}
+
+// Consistent ordering never cycles: muC always before muD.
+var muC, muD sync.Mutex
+
+func FirstCD() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	defer muD.Unlock()
+}
+
+func SecondCD() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+// Helper calls propagate acquisitions: TakeEF holds muE across a call to
+// a helper that locks muF, while CrossFE locks the pair directly in the
+// opposite order.
+var muE, muF sync.Mutex
+
+func lockF() {
+	muF.Lock()
+	defer muF.Unlock()
+}
+
+func TakeEF() {
+	muE.Lock()
+	defer muE.Unlock()
+	lockF() // want "lockorder: acquiring muF while holding muE is part of a lock-order cycle"
+}
+
+func CrossFE() {
+	muF.Lock()
+	defer muF.Unlock()
+	muE.Lock() // want "lockorder: acquiring muE while holding muF is part of a lock-order cycle"
+	defer muE.Unlock()
+}
+
+// Relock is a certain self-deadlock: the lock is still held on every path
+// reaching the second Lock.
+var muG sync.Mutex
+
+func Relock() {
+	muG.Lock()
+	defer muG.Unlock()
+	muG.Lock() // want "lockorder: muG locked while already held on every path here"
+}
+
+// ReleasedThenRelocked is fine: the explicit Unlock kills the held fact.
+func ReleasedThenRelocked() {
+	muG.Lock()
+	muG.Unlock()
+	muG.Lock()
+	muG.Unlock()
+}
+
+// Box.Transfer locks two instances of the same field; instance order is
+// the caller's contract, not a type-level cycle: not flagged.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *Box) Transfer(o *Box, k int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	b.n -= k
+	o.n += k
+}
+
+// Spawned goroutines start with no locks held: holding muH while spawning
+// a goroutine that locks muI is not an order edge (and vice versa).
+var muH, muI sync.Mutex
+
+func SpawnUnderH() {
+	muH.Lock()
+	defer muH.Unlock()
+	go func() {
+		muI.Lock()
+		defer muI.Unlock()
+	}()
+}
+
+func SpawnUnderI() {
+	muI.Lock()
+	defer muI.Unlock()
+	go func() {
+		muH.Lock()
+		defer muH.Unlock()
+	}()
+}

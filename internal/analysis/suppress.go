@@ -15,14 +15,24 @@ import (
 // ignore directive without one is itself reported as a bad-directive
 // finding so silent suppressions cannot accumulate.
 
+// Directive is one well-formed //lint:ignore comment found in a package.
+// RunAudit reports directives that suppressed nothing as stale.
+type Directive struct {
+	Rule string         `json:"rule"`
+	Pos  token.Position `json:"pos"`
+
+	used bool
+}
+
 type suppressions struct {
-	// byLine maps filename -> line -> set of suppressed rule names.
-	byLine map[string]map[int]map[string]bool
+	// byLine maps filename -> line -> rule name -> directive.
+	byLine map[string]map[int]map[string]*Directive
+	list   []*Directive
 	bad    []Diagnostic
 }
 
 func collectSuppressions(pkg *Package) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	s := &suppressions{byLine: make(map[string]map[int]map[string]*Directive)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -40,17 +50,18 @@ func collectSuppressions(pkg *Package) *suppressions {
 					})
 					continue
 				}
-				rule := fields[0]
+				d := &Directive{Rule: fields[0], Pos: pos}
+				s.list = append(s.list, d)
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]map[string]*Directive)
 					s.byLine[pos.Filename] = lines
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					if lines[line] == nil {
-						lines[line] = make(map[string]bool)
+						lines[line] = make(map[string]*Directive)
 					}
-					lines[line][rule] = true
+					lines[line][d.Rule] = d
 				}
 			}
 		}
@@ -58,6 +69,26 @@ func collectSuppressions(pkg *Package) *suppressions {
 	return s
 }
 
+// suppressed reports whether a finding of rule at pos is covered by a
+// directive, marking the directive as exercised for audit purposes.
 func (s *suppressions) suppressed(rule string, pos token.Position) bool {
-	return s.byLine[pos.Filename][pos.Line][rule]
+	d := s.byLine[pos.Filename][pos.Line][rule]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// stale returns the directives that suppressed nothing during the run,
+// restricted to rules in the given set: a directive naming a rule that did
+// not run cannot be judged, so it is skipped rather than reported.
+func (s *suppressions) stale(ran map[string]bool) []Directive {
+	var out []Directive
+	for _, d := range s.list {
+		if !d.used && ran[d.Rule] {
+			out = append(out, *d)
+		}
+	}
+	return out
 }

@@ -70,7 +70,6 @@ func (s *Server) Listen(addr string) error {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		//lint:ignore errdrop Serve only fails on listener teardown, which Close reports
 		_ = s.Serve(ln)
 	}()
 	return nil
@@ -200,7 +199,6 @@ func (s *Server) sweep(reaped *obs.Counter) {
 		// Closing the connection fails the session's blocked read, which
 		// unwinds its goroutine; the close error (if any) is irrelevant
 		// because the session is being discarded.
-		//lint:ignore errdrop reaped connections are discarded, their close error has no consumer
 		_ = c.Conn.Close()
 	}
 }
