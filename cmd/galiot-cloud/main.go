@@ -7,6 +7,13 @@
 // Usage:
 //
 //	galiot-cloud -listen :7373
+//
+// With -shards N (N > 1) the process runs the sharded decode plane
+// instead of a single service: N shared-nothing decode shards behind one
+// accept loop, sessions routed by a consistent hash of (gateway, epoch),
+// per-shard metrics under cloud_shard<i>_*:
+//
+//	galiot-cloud -listen :7373 -shards 4
 package main
 
 import (
@@ -26,8 +33,9 @@ func main() {
 		listen         = flag.String("listen", ":7373", "TCP address to accept gateway sessions on")
 		dsss           = flag.Bool("dsss", false, "also decode the O-QPSK DSSS technology")
 		quiet          = flag.Bool("quiet", false, "suppress per-segment logs")
-		workers        = flag.Int("workers", 4, "decode-farm worker count (0 decodes inline, one segment per session at a time)")
-		queue          = flag.Int("queue", 64, "decode-farm admission queue depth; beyond it v2 gateways get busy rejects")
+		workers        = flag.Int("workers", 4, "decode-farm worker count (0 decodes inline, one segment per session at a time; per shard when -shards > 1)")
+		queue          = flag.Int("queue", 64, "decode-farm admission queue depth; beyond it v2 gateways get busy rejects (per shard when -shards > 1)")
+		shards         = flag.Int("shards", 1, "decode-plane shard count; > 1 runs the sharded front tier (sessions routed by consistent hash of gateway and epoch)")
 		sessionTimeout = flag.Duration("session-timeout", 0, "reap sessions idle for this long (0 = never)")
 		dedupTTL       = flag.Duration("dedup-ttl", 0, "evict replay-dedup cache entries older than this (0 = count-bound only)")
 		obsAddr        = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
@@ -38,17 +46,9 @@ func main() {
 	if *dsss {
 		techs = galiot.TechnologiesWithDSSS()
 	}
-	svc := galiot.NewCloud(techs...)
-	if !*quiet {
-		svc.Logf = log.Printf
-	}
 	reg := galiot.NewObsRegistry()
 	tracer := galiot.NewObsTracer(0)
 	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
-	svc.UseObs(reg, tracer)
-	if *dedupTTL > 0 {
-		svc.SetDedupTTL(*dedupTTL, time.Now)
-	}
 	if *obsAddr != "" {
 		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
 		if err := obsSrv.Start(*obsAddr); err != nil {
@@ -61,6 +61,20 @@ func main() {
 			}
 		}()
 		log.Printf("observability endpoints on http://%s/metrics", obsSrv.Addr())
+	}
+
+	if *shards > 1 {
+		runSharded(*listen, *shards, *workers, *queue, *sessionTimeout, *dedupTTL, *quiet, techs, reg, tracer)
+		return
+	}
+
+	svc := galiot.NewCloud(techs...)
+	if !*quiet {
+		svc.Logf = log.Printf
+	}
+	svc.UseObs(reg, tracer)
+	if *dedupTTL > 0 {
+		svc.SetDedupTTL(*dedupTTL, time.Now)
 	}
 	if *workers > 0 {
 		svc.StartFarm(galiot.FarmConfig{
@@ -76,9 +90,7 @@ func main() {
 	}
 	log.Printf("galiot-cloud listening on %s (%d technologies)", srv.Addr(), len(techs))
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	waitForInterrupt()
 	log.Printf("shutting down")
 	if err := srv.Close(); err != nil {
 		log.Printf("close: %v", err)
@@ -90,6 +102,64 @@ func main() {
 		log.Printf("farm: %d admitted, %d completed, %d rejected, %d deadline-exceeded, queue wait p50=%d p99=%d samples",
 			fst.Admitted, fst.Completed, fst.Rejected, fst.DeadlineExceeded, fst.P50QueueWait, fst.P99QueueWait)
 	}
+	logMetrics(reg)
+}
+
+// runSharded serves the sharded decode plane: the front tier routes each
+// session to one of the shards, every shard runs its own decode farm, and
+// shutdown reports per-shard session and farm counters.
+func runSharded(listen string, shards, workers, queue int, sessionTimeout, dedupTTL time.Duration, quiet bool, techs []galiot.Technology, reg *galiot.ObsRegistry, tracer *galiot.ObsTracer) {
+	cfg := galiot.FleetConfig{
+		Shards:     shards,
+		Workers:    workers,
+		QueueDepth: queue,
+		Techs:      techs,
+		Obs:        reg,
+		Tracer:     tracer,
+		Clock:      func() int64 { return time.Now().UnixNano() },
+	}
+	if !quiet {
+		cfg.Logf = log.Printf
+	}
+	if dedupTTL > 0 {
+		cfg.DedupTTL = dedupTTL
+		cfg.DedupNow = time.Now
+	}
+	front, err := galiot.NewFleet(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-cloud:", err)
+		os.Exit(1)
+	}
+	srv := front.NewServer()
+	srv.SessionTimeout = sessionTimeout
+	if err := srv.Listen(listen); err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-cloud:", err)
+		os.Exit(1)
+	}
+	log.Printf("galiot-cloud listening on %s (%d shards x %d workers, capacity hint %d, %d technologies)",
+		srv.Addr(), front.Shards(), workers, front.Capacity(), len(techs))
+
+	waitForInterrupt()
+	log.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	stats := front.Stats() // refreshes cloud_shard<i>_* gauges for the final snapshot
+	front.Close()          // drain every shard farm after the sessions are done
+	for _, st := range stats {
+		log.Printf("shard %d: %d sessions routed, farm %d admitted, %d completed, %d rejected",
+			st.Shard, st.Sessions, st.Farm.Admitted, st.Farm.Completed, st.Farm.Rejected)
+	}
+	logMetrics(reg)
+}
+
+func waitForInterrupt() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+func logMetrics(reg *galiot.ObsRegistry) {
 	if data, err := json.Marshal(reg.Snapshot()); err == nil {
 		log.Printf("metrics: %s", data)
 	}

@@ -1,0 +1,140 @@
+// Command galiot-fleet runs the in-process fleet simulator: a seeded
+// fleet of real gateways — full detection pipeline, real backhaul wire
+// protocol, reconnecting clients — against a sharded decode plane over
+// loopback TCP, reduced to one structured JSON report (per-shard
+// throughput, admission-queue counters, e2e decode latency quantiles).
+//
+// The command exits non-zero if the run violates the plane's invariants:
+// any gateway session error, any segment decoded on more than one shard,
+// any admission-queue reject, or sessions still registered after the
+// fleet disconnected. That makes it a self-checking soak for CI:
+//
+//	galiot-fleet -quick -out FLEET.json
+//
+// Full runs size the fleet explicitly:
+//
+//	galiot-fleet -gateways 200 -shards 4 -workers 2 -seed 7 -out FLEET.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/galiot"
+)
+
+func main() {
+	var (
+		gateways = flag.Int("gateways", 32, "fleet size (concurrent gateway sessions)")
+		captures = flag.Int("captures", 1, "captures per gateway")
+		samples  = flag.Int("samples", 1<<15, "samples per capture")
+		gapMs    = flag.Float64("gap", 5, "mean idle gap between transmissions within a capture (ms)")
+		shards   = flag.Int("shards", 2, "decode-plane shard count")
+		workers  = flag.Int("workers", 2, "decode-farm workers per shard")
+		queue    = flag.Int("queue", 256, "admission-queue depth per shard")
+		window   = flag.Int("window", 0, "pin every gateway's shipping window (0 = auto-size from the capacity hint)")
+		seed     = flag.Uint64("seed", 1, "workload and retry-jitter seed")
+		spool    = flag.Bool("spool-first", false, "outage-recovery drain: spool the whole fleet before the plane accepts sessions")
+		quick    = flag.Bool("quick", false, "CI preset: 100 gateways, 2 shards, 16k-sample captures, seed 1")
+		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		quiet    = flag.Bool("quiet", false, "suppress plane diagnostics")
+	)
+	flag.Parse()
+
+	cfg := galiot.FleetSimConfig{
+		Gateways:       *gateways,
+		Captures:       *captures,
+		CaptureSamples: *samples,
+		MeanGapMs:      *gapMs,
+		Shards:         *shards,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Window:         *window,
+		Seed:           *seed,
+		SpoolFirst:     *spool,
+		Clock:          func() int64 { return time.Now().UnixNano() },
+	}
+	if *quick {
+		cfg.Gateways = 100
+		cfg.Captures = 1
+		cfg.CaptureSamples = 1 << 14
+		cfg.Shards = 2
+		cfg.Seed = 1
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+
+	wl, err := galiot.GenFleetWorkload(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+		os.Exit(1)
+	}
+	log.Printf("workload: %d gateways x %d captures (%d samples each), %d ground-truth packets, seed %d",
+		cfg.Gateways, cfg.Captures, cfg.CaptureSamples, wl.Packets(), cfg.Seed)
+	log.Printf("plane: %d shards x %d workers (queue %d per shard)", cfg.Shards, cfg.Workers, cfg.QueueDepth)
+
+	rep, err := galiot.RunFleetSim(cfg, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+			os.Exit(1)
+		}
+		log.Printf("report written to %s", *out)
+	} else {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+			os.Exit(1)
+		}
+	}
+
+	log.Printf("decoded %d segments (%d frames) in %.0f ms: throughput %.1f segs/s, capacity %.1f segs/s, latency p50=%.0fms p95=%.0fms",
+		rep.SegmentsDecoded, rep.FramesReported, rep.DurationMillis, rep.Throughput, rep.Capacity, rep.Latency.P50, rep.Latency.P95)
+	for _, sh := range rep.PerShard {
+		log.Printf("shard %d: %d sessions, %d decoded (%.1f segs/s), %d admitted, %d rejected",
+			sh.Shard, sh.Sessions, sh.Decoded, sh.Throughput, sh.Admitted, sh.Rejected)
+	}
+
+	// Invariant gate: a fleet run that lost sessions, duplicated decodes
+	// across shards, hit queue collapse or leaked sessions is a failure
+	// regardless of its throughput numbers.
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "galiot-fleet: FAIL: "+format+"\n", args...)
+	}
+	if rep.GatewayErrors != 0 {
+		fail("%d gateway sessions errored", rep.GatewayErrors)
+	}
+	if rep.SegmentsDecoded == 0 {
+		fail("no segments decoded")
+	}
+	if rep.Duplicates != 0 {
+		fail("%d segments decoded on more than one shard", rep.Duplicates)
+	}
+	if rep.Rejected != 0 {
+		fail("%d admission-queue rejects", rep.Rejected)
+	}
+	if rep.FinalSessions != 0 {
+		fail("%d sessions still registered after the fleet exited", rep.FinalSessions)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	log.Printf("invariants hold: no session errors, no cross-shard duplicates, no rejects, no leaked sessions")
+}

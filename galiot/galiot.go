@@ -26,6 +26,8 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/detect"
 	"repro/internal/farm"
+	"repro/internal/fleet"
+	"repro/internal/fleetsim"
 	"repro/internal/frontend"
 	"repro/internal/gateway"
 	"repro/internal/obs"
@@ -77,6 +79,22 @@ type (
 	FarmConfig = farm.Config
 	// FarmStats is a point-in-time snapshot of a Farm.
 	FarmStats = farm.Stats
+	// Fleet is the sharded decode plane's routing tier: N shared-nothing
+	// Cloud shards behind one accept loop, sessions routed by a consistent
+	// hash of (gateway, epoch).
+	Fleet = fleet.Front
+	// FleetConfig sizes a Fleet (shard count, per-shard farm, ring).
+	FleetConfig = fleet.Config
+	// FleetShardStats is one shard's point-in-time view from Fleet.Stats.
+	FleetShardStats = fleet.ShardStats
+	// FleetSimConfig parameterizes an in-process fleet simulation
+	// (internal/fleetsim): real gateways over loopback TCP against a
+	// sharded plane.
+	FleetSimConfig = fleetsim.Config
+	// FleetSimWorkload is a pre-rendered deterministic fleet workload.
+	FleetSimWorkload = fleetsim.Workload
+	// FleetSimReport is the structured outcome of one fleet simulation.
+	FleetSimReport = fleetsim.Report
 	// CollisionDecoder runs Algorithm 1 (SIC + kill filters).
 	CollisionDecoder = cancel.Decoder
 	// DecodeStats aggregates what a decode invocation did.
@@ -162,6 +180,30 @@ func NewCloud(techs ...Technology) *Cloud {
 		techs = Technologies()
 	}
 	return cloud.NewService(techs)
+}
+
+// NewFleet builds a sharded decode plane (default: the prototype
+// technology set). Plug its HandleConn into a CloudServer — or call its
+// NewServer method — to accept gateway sessions, and Close it to drain
+// the shard farms.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if len(cfg.Techs) == 0 {
+		cfg.Techs = Technologies()
+	}
+	return fleet.New(cfg)
+}
+
+// GenFleetWorkload renders a deterministic fleet workload from
+// cfg.Seed; reuse it across RunFleetSim calls to compare shard counts on
+// byte-identical captures.
+func GenFleetWorkload(cfg FleetSimConfig) (*FleetSimWorkload, error) {
+	return fleetsim.GenWorkload(cfg)
+}
+
+// RunFleetSim executes one in-process fleet simulation: real resilient
+// gateways, real wire protocol, a sharded decode plane, one Report.
+func RunFleetSim(cfg FleetSimConfig, wl *FleetSimWorkload) (*FleetSimReport, error) {
+	return fleetsim.Run(cfg, wl)
 }
 
 // NewUniversalDetector builds the universal-preamble detector of Sec. 4

@@ -96,10 +96,24 @@ type Hello struct {
 type HelloAck struct {
 	Version int `json:"version"`
 	// Window advises the gateway how many unacked segments the cloud is
-	// willing to buffer for this session (0 = no advice).
+	// willing to buffer for this session (0 = no advice). On a sharded
+	// plane this is the admission bound of the shard the session landed
+	// on, not of the whole plane.
 	Window int `json:"window,omitempty"`
 	// Workers reports the decode parallelism behind the session (0 = serial).
+	// Like Window, per-shard on a sharded plane.
 	Workers int `json:"workers,omitempty"`
+	// Shards reports how many shared-nothing decode shards sit behind the
+	// front tier that accepted this session (0 or 1 = unsharded). Gateways
+	// that size their window automatically may scale it up with the shard
+	// count, because each shard serves proportionally fewer sessions.
+	Shards int `json:"shards,omitempty"`
+	// Capacity is the aggregate admission capacity of the whole decode
+	// plane (the sum of every shard's queue depth), an upper bound on the
+	// segments the cloud can hold queued at once across all gateways
+	// (0 = no advice). Purely advisory: this session's own ceiling is
+	// still Window.
+	Capacity int `json:"capacity,omitempty"`
 }
 
 // FrameReport describes one decoded frame, sent from the cloud back to the

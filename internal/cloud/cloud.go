@@ -140,6 +140,12 @@ func (s *Service) StartFarm(cfg farm.Config) *farm.Farm {
 	return f
 }
 
+// DecodeFunc returns the service's own farm decode function (pooled
+// decoder plus registry accounting), so callers assembling a farm.Config
+// themselves — the sharded front tier, load harnesses — can wrap the real
+// decoder instead of replacing it.
+func (s *Service) DecodeFunc() farm.DecodeFunc { return s.decodeSegment }
+
 // Farm returns the attached decode farm, or nil.
 func (s *Service) Farm() *farm.Farm {
 	s.mu.Lock()
@@ -253,6 +259,25 @@ func (ss *session) writeErr() error {
 	return ss.werr
 }
 
+// ReadHello consumes and parses the opening hello of a gateway session.
+// A front tier uses it to learn the session's routing key (gateway ID,
+// epoch) before deciding which decode shard serves the connection; the
+// shard then continues with ServeHello.
+func ReadHello(conn *backhaul.Conn) (backhaul.Hello, error) {
+	typ, payload, err := conn.ReadMessage()
+	if err != nil {
+		return backhaul.Hello{}, err
+	}
+	if typ != backhaul.MsgHello {
+		return backhaul.Hello{}, fmt.Errorf("cloud: expected hello, got message type %d", typ)
+	}
+	hello, err := backhaul.ParseHello(payload)
+	if err != nil {
+		return backhaul.Hello{}, fmt.Errorf("cloud: bad hello: %w", err)
+	}
+	return hello, nil
+}
+
 // ServeConn handles one gateway session over a byte stream: hello (with
 // version negotiation), segments, bye. v1 gateways get one synchronous
 // frames report per segment; v2 gateways pipeline sequence-numbered
@@ -262,28 +287,36 @@ func (ss *session) writeErr() error {
 func (s *Service) ServeConn(rw io.ReadWriter) error {
 	conn := backhaul.NewConn(rw)
 	conn.SetMetrics(backhaul.NewConnMetrics(s.reg))
-	typ, payload, err := conn.ReadMessage()
+	hello, err := ReadHello(conn)
 	if err != nil {
 		return err
 	}
-	if typ != backhaul.MsgHello {
-		return fmt.Errorf("cloud: expected hello, got message type %d", typ)
-	}
-	hello, err := backhaul.ParseHello(payload)
-	if err != nil {
-		return fmt.Errorf("cloud: bad hello: %w", err)
-	}
+	return s.ServeHello(conn, hello, backhaul.HelloAck{})
+}
+
+// ServeHello serves a session whose hello has already been consumed from
+// conn (see ReadHello). hint seeds the v2 hello ack: a sharded front tier
+// passes its aggregate-capacity fields (Shards, Capacity) and may pin
+// Window/Workers; zero hint fields are filled from this service's farm,
+// and Version always comes from negotiation. The caller keeps ownership
+// of conn's metrics wiring.
+func (s *Service) ServeHello(conn *backhaul.Conn, hello backhaul.Hello, hint backhaul.HelloAck) error {
 	version, err := backhaul.Negotiate(hello.Version)
 	if err != nil {
 		return fmt.Errorf("cloud: %w", err)
 	}
 	f := s.Farm()
 	if version >= 2 {
-		ack := backhaul.HelloAck{Version: version}
-		if f != nil {
+		ack := hint
+		ack.Version = version
+		if f != nil && (ack.Window == 0 || ack.Workers == 0) {
 			snap := f.Snapshot()
-			ack.Window = snap.QueueDepth
-			ack.Workers = snap.Workers
+			if ack.Window == 0 {
+				ack.Window = snap.QueueDepth
+			}
+			if ack.Workers == 0 {
+				ack.Workers = snap.Workers
+			}
 		}
 		if err := conn.SendHelloAck(ack); err != nil {
 			return err

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"errors"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,10 +12,22 @@ import (
 	"repro/internal/resilience"
 )
 
-// Server is a TCP front for a Service. The zero value plus a Service is
-// ready to Listen; the timeout fields opt into the robustness features.
+// Server is a TCP front for a Service (or any session handler). The zero
+// value plus a Service is ready to Listen; the timeout fields opt into the
+// robustness features.
 type Server struct {
 	Service *Service
+	// Handler, when set, serves each accepted session instead of
+	// Service.ServeConn. A sharded front tier (internal/fleet) plugs in
+	// here; Service may then be nil as long as Obs is set.
+	Handler func(rw io.ReadWriter) error
+	// Obs overrides the registry the server's own metrics land on
+	// (cloud_accept_retries_total, cloud_sessions_reaped_total,
+	// cloud_sessions_active_count). Nil uses Service.Registry().
+	Obs *obs.Registry
+	// Logf overrides the server's diagnostics sink. Nil uses Service.Logf
+	// (or silence when Service is nil too).
+	Logf func(format string, args ...any)
 	// SessionTimeout reaps sessions that moved no bytes in either
 	// direction for at least this long: their connections are closed,
 	// which unwinds ServeConn and releases the session's farm slots.
@@ -32,6 +45,33 @@ type Server struct {
 	quit      chan struct{}
 	sessionMu sync.Mutex
 	sessions  []*trackedConn
+}
+
+// registry resolves where the server's own metrics go.
+func (s *Server) registry() *obs.Registry {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return s.Service.Registry()
+}
+
+// logf resolves the diagnostics sink; may return nil (silent).
+func (s *Server) logf() func(format string, args ...any) {
+	if s.Logf != nil {
+		return s.Logf
+	}
+	if s.Service != nil {
+		return s.Service.Logf
+	}
+	return nil
+}
+
+// handle serves one accepted session.
+func (s *Server) handle(rw io.ReadWriter) error {
+	if s.Handler != nil {
+		return s.Handler(rw)
+	}
+	return s.Service.ServeConn(rw)
 }
 
 // trackedConn counts bytes moved in either direction so the reaper can
@@ -86,7 +126,10 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.ln = ln
 	}
 	s.startReaper()
-	retries := s.Service.Registry().Counter("cloud_accept_retries_total")
+	reg := s.registry()
+	retries := reg.Counter("cloud_accept_retries_total")
+	active := reg.Gauge("cloud_sessions_active_count")
+	logf := s.logf()
 	const minDelay, maxDelay = 5 * time.Millisecond, 500 * time.Millisecond
 	delay := minDelay
 	for {
@@ -96,8 +139,8 @@ func (s *Server) Serve(ln net.Listener) error {
 				return nil
 			}
 			retries.Inc()
-			if s.Service.Logf != nil {
-				s.Service.Logf("accept failed (retrying in %v): %v", delay, err)
+			if logf != nil {
+				logf("accept failed (retrying in %v): %v", delay, err)
 			}
 			time.Sleep(delay)
 			if delay *= 2; delay > maxDelay {
@@ -107,27 +150,28 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		delay = minDelay
 		tc := &trackedConn{Conn: conn}
-		s.register(tc)
+		s.register(tc, active)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer s.unregister(tc)
+			defer s.unregister(tc, active)
 			defer tc.Close()
 			rw := resilience.WithDeadlines(tc, s.ReadTimeout, s.WriteTimeout)
-			if err := s.Service.ServeConn(rw); err != nil && s.Service.Logf != nil {
-				s.Service.Logf("session error: %v", err)
+			if err := s.handle(rw); err != nil && logf != nil {
+				logf("session error: %v", err)
 			}
 		}()
 	}
 }
 
-func (s *Server) register(c *trackedConn) {
+func (s *Server) register(c *trackedConn, active *obs.Gauge) {
 	s.sessionMu.Lock()
 	s.sessions = append(s.sessions, c)
+	active.Set(int64(len(s.sessions)))
 	s.sessionMu.Unlock()
 }
 
-func (s *Server) unregister(c *trackedConn) {
+func (s *Server) unregister(c *trackedConn, active *obs.Gauge) {
 	s.sessionMu.Lock()
 	for i, sc := range s.sessions {
 		if sc == c {
@@ -135,6 +179,7 @@ func (s *Server) unregister(c *trackedConn) {
 			break
 		}
 	}
+	active.Set(int64(len(s.sessions)))
 	s.sessionMu.Unlock()
 }
 
@@ -156,7 +201,7 @@ func (s *Server) startReaper() {
 		if tick <= 0 {
 			tick = time.Millisecond
 		}
-		reaped := s.Service.Registry().Counter("cloud_sessions_reaped_total")
+		reaped := s.registry().Counter("cloud_sessions_reaped_total")
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -193,8 +238,8 @@ func (s *Server) sweep(reaped *obs.Counter) {
 		}
 		c.reaped = true
 		reaped.Inc()
-		if s.Service.Logf != nil {
-			s.Service.Logf("reaping idle session after %v of silence", s.SessionTimeout)
+		if logf := s.logf(); logf != nil {
+			logf("reaping idle session after %v of silence", s.SessionTimeout)
 		}
 		// Closing the connection fails the session's blocked read, which
 		// unwinds its goroutine; the close error (if any) is irrelevant

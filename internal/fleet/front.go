@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/backhaul"
+	"repro/internal/cloud"
+	"repro/internal/farm"
+	"repro/internal/obs"
+	"repro/internal/phy"
+)
+
+// Config assembles a Front.
+type Config struct {
+	// Shards is the decode-shard count (default 1). Each shard is a full
+	// cloud.Service with its own decode farm and its own replay dedup
+	// cache — shared-nothing by construction.
+	Shards int
+	// VNodes is the ring's virtual-node count per shard (default
+	// DefaultVNodes).
+	VNodes int
+	// Workers is each shard's decode-farm worker count (default 2).
+	Workers int
+	// QueueDepth is each shard's admission-queue bound (default 64). The
+	// plane's aggregate capacity — Shards × QueueDepth — is advertised to
+	// v2 gateways in the hello ack.
+	QueueDepth int
+	// Techs is the technology set every shard decodes. Required.
+	Techs []phy.Technology
+	// Obs is the plane-wide registry: the shards' cloud_* series and the
+	// front's cloud_fleet_* / cloud_shard<i>_* series land here. Nil
+	// creates a private registry.
+	Obs *obs.Registry
+	// Tracer receives per-segment decode spans from every shard (nil
+	// disables tracing).
+	Tracer *obs.Tracer
+	// Clock feeds each shard farm's decode-duration histogram (see
+	// farm.Config.Clock). Nil skips those readings.
+	Clock func() int64
+	// Logf receives front and shard diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+	// Decode overrides every shard's decode function (load tests inject
+	// synthetic work; see internal/fleetsim). Nil uses each shard
+	// service's real collision decoder.
+	Decode farm.DecodeFunc
+	// WrapDecode, when set, wraps each shard's effective decode function
+	// (the override above, or the shard's real decoder). The fleet
+	// simulator hooks in here to count decode invocations per shard and
+	// catch cross-shard duplicates.
+	WrapDecode func(shard int, next farm.DecodeFunc) farm.DecodeFunc
+	// DedupTTL age-bounds each shard's replay dedup cache; DedupNow
+	// supplies the wall clock for it (pass time.Now). Zero/nil keeps the
+	// caches purely count-bound.
+	DedupTTL time.Duration
+	DedupNow func() time.Time
+}
+
+// shard is one shared-nothing decode unit plus its front-side metrics.
+type shard struct {
+	svc  *cloud.Service
+	farm *farm.Farm
+
+	sessions *obs.Counter // cloud_shard<i>_sessions_total
+	active   *obs.Gauge   // cloud_shard<i>_sessions_active_count
+
+	// Farm readings re-exported onto the plane registry by refresh; the
+	// farm itself runs on a private registry so its numbers stay
+	// per-shard.
+	queuedG    *obs.Gauge // cloud_shard<i>_jobs_queued_count
+	admittedG  *obs.Gauge // cloud_shard<i>_jobs_admitted_count
+	completedG *obs.Gauge // cloud_shard<i>_jobs_completed_count
+	rejectedG  *obs.Gauge // cloud_shard<i>_jobs_rejected_count
+	waitP99G   *obs.Gauge // cloud_shard<i>_queue_wait_p99_samples
+}
+
+// Front is the routing tier of the sharded decode plane. It owns no
+// listener: plug HandleConn into a cloud.Server (NewServer does exactly
+// that) or call it directly with any byte stream.
+type Front struct {
+	cfg  Config
+	ring *Ring
+	reg  *obs.Registry
+
+	shards   []*shard
+	capacity int // Shards × QueueDepth, the hello-ack aggregate hint
+
+	sessionsTotal *obs.Counter // cloud_fleet_sessions_total
+	shardsGauge   *obs.Gauge   // cloud_fleet_shards_count
+}
+
+// New builds the plane: ring, shards, farms. Callers must Close it to
+// drain the shard farms.
+func New(cfg Config) (*Front, error) {
+	if len(cfg.Techs) == 0 {
+		return nil, fmt.Errorf("fleet: no technologies configured")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	f := &Front{
+		cfg:           cfg,
+		ring:          NewRing(cfg.Shards, cfg.VNodes),
+		reg:           reg,
+		capacity:      cfg.Shards * cfg.QueueDepth,
+		sessionsTotal: reg.Counter("cloud_fleet_sessions_total"),
+		shardsGauge:   reg.Gauge("cloud_fleet_shards_count"),
+	}
+	f.shardsGauge.Set(int64(cfg.Shards))
+	for i := 0; i < cfg.Shards; i++ {
+		svc := cloud.NewService(cfg.Techs)
+		svc.UseObs(reg, cfg.Tracer)
+		if cfg.Logf != nil {
+			idx := i
+			svc.Logf = func(format string, args ...any) {
+				cfg.Logf("shard %d: "+format, append([]any{idx}, args...)...)
+			}
+		}
+		if cfg.DedupTTL > 0 && cfg.DedupNow != nil {
+			svc.SetDedupTTL(cfg.DedupTTL, cfg.DedupNow)
+		}
+		// The farm runs on a private registry so Snapshot stays
+		// per-shard; the shared-registry view is re-exported below.
+		dec := cfg.Decode
+		if dec == nil {
+			dec = svc.DecodeFunc()
+		}
+		if cfg.WrapDecode != nil {
+			dec = cfg.WrapDecode(i, dec)
+		}
+		fm := svc.StartFarm(farm.Config{
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			Obs:        obs.NewRegistry(),
+			Clock:      cfg.Clock,
+			Decode:     dec,
+		})
+		p := fmt.Sprintf("cloud_shard%d_", i)
+		f.shards = append(f.shards, &shard{
+			svc:        svc,
+			farm:       fm,
+			sessions:   reg.Counter(p + "sessions_total"),
+			active:     reg.Gauge(p + "sessions_active_count"),
+			queuedG:    reg.Gauge(p + "jobs_queued_count"),
+			admittedG:  reg.Gauge(p + "jobs_admitted_count"),
+			completedG: reg.Gauge(p + "jobs_completed_count"),
+			rejectedG:  reg.Gauge(p + "jobs_rejected_count"),
+			waitP99G:   reg.Gauge(p + "queue_wait_p99_samples"),
+		})
+	}
+	return f, nil
+}
+
+// Registry returns the plane-wide metric registry.
+func (f *Front) Registry() *obs.Registry { return f.reg }
+
+// Ring returns the routing ring (immutable).
+func (f *Front) Ring() *Ring { return f.ring }
+
+// Shards returns the shard count.
+func (f *Front) Shards() int { return len(f.shards) }
+
+// Capacity returns the plane's aggregate admission capacity (the hello-ack
+// hint): shard count × per-shard queue depth.
+func (f *Front) Capacity() int { return f.capacity }
+
+// Service returns shard i's cloud service, for tests and tooling.
+func (f *Front) Service(i int) *cloud.Service { return f.shards[i].svc }
+
+// HandleConn serves one gateway connection: read the hello, route the
+// session to its shard by (gateway, epoch), and let the shard's service
+// run the session to completion. The hello ack the shard sends carries the
+// plane's aggregate capacity so the gateway can size its window for the
+// fleet, while Window/Workers remain the landing shard's own numbers — a
+// session's in-flight ceiling is bounded by the shard that actually
+// decodes it.
+func (f *Front) HandleConn(rw io.ReadWriter) error {
+	conn := backhaul.NewConn(rw)
+	conn.SetMetrics(backhaul.NewConnMetrics(f.reg))
+	hello, err := cloud.ReadHello(conn)
+	if err != nil {
+		return err
+	}
+	idx := f.ring.Lookup(hello.GatewayID, hello.Epoch)
+	sh := f.shards[idx]
+	f.sessionsTotal.Inc()
+	sh.sessions.Inc()
+	sh.active.Add(1)
+	defer sh.active.Add(-1)
+	if f.cfg.Logf != nil {
+		f.cfg.Logf("routing %s (epoch %d) to shard %d/%d", hello.GatewayID, hello.Epoch, idx, len(f.shards))
+	}
+	hint := backhaul.HelloAck{Shards: len(f.shards), Capacity: f.capacity}
+	return sh.svc.ServeHello(conn, hello, hint)
+}
+
+// NewServer wraps the front in a TCP server: accepted connections flow
+// through HandleConn, and the server's own metrics (accept retries, active
+// sessions, reaped sessions) land on the plane registry.
+func (f *Front) NewServer() *cloud.Server {
+	return &cloud.Server{Handler: f.HandleConn, Obs: f.reg, Logf: f.cfg.Logf}
+}
+
+// ShardStats is one shard's point-in-time view.
+type ShardStats struct {
+	Shard    int        `json:"shard"`
+	Sessions uint64     `json:"sessions"` // sessions routed here so far
+	Active   int64      `json:"active"`   // sessions currently being served
+	Farm     farm.Stats `json:"farm"`
+}
+
+// Stats snapshots every shard (index order) and refreshes the per-shard
+// cloud_shard<i>_* gauges on the plane registry from the farms' private
+// counters.
+func (f *Front) Stats() []ShardStats {
+	out := make([]ShardStats, len(f.shards))
+	for i, sh := range f.shards {
+		fs := sh.farm.Snapshot()
+		sh.queuedG.Set(int64(fs.Queued))
+		sh.admittedG.Set(int64(fs.Admitted))
+		sh.completedG.Set(int64(fs.Completed))
+		sh.rejectedG.Set(int64(fs.Rejected))
+		sh.waitP99G.Set(fs.P99QueueWait)
+		out[i] = ShardStats{
+			Shard:    i,
+			Sessions: sh.sessions.Value(),
+			Active:   sh.active.Value(),
+			Farm:     fs,
+		}
+	}
+	return out
+}
+
+// Close drains every shard farm: intake stops, every admitted segment
+// finishes. Close the accepting server first.
+func (f *Front) Close() {
+	for _, sh := range f.shards {
+		sh.svc.Close()
+	}
+}

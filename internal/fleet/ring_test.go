@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys synthesizes a deterministic gateway fleet's routing keys.
+func ringKeys(n int) []struct {
+	gw    string
+	epoch uint64
+} {
+	keys := make([]struct {
+		gw    string
+		epoch uint64
+	}, n)
+	for i := range keys {
+		keys[i].gw = fmt.Sprintf("gw-%04d", i)
+		keys[i].epoch = uint64(i)*2654435761 + 1
+	}
+	return keys
+}
+
+// TestRingDistribution checks the satellite contract: with a realistic
+// fleet of keys, every shard's share stays within ±15% of the even split.
+func TestRingDistribution(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		r := NewRing(shards, 0)
+		const n = 8000
+		counts := make([]int, shards)
+		for _, k := range ringKeys(n) {
+			counts[r.Lookup(k.gw, k.epoch)]++
+		}
+		mean := float64(n) / float64(shards)
+		lo, hi := int(mean*0.85), int(mean*1.15)
+		for s, c := range counts {
+			if c < lo || c > hi {
+				t.Errorf("shards=%d: shard %d got %d keys, want within [%d, %d] (±15%% of %.0f): %v",
+					shards, s, c, lo, hi, mean, counts)
+			}
+		}
+	}
+}
+
+// TestRingStability checks that two independently built rings agree, and
+// that lookups are pure.
+func TestRingStability(t *testing.T) {
+	a, b := NewRing(4, 0), NewRing(4, 0)
+	for _, k := range ringKeys(500) {
+		if got, want := a.Lookup(k.gw, k.epoch), b.Lookup(k.gw, k.epoch); got != want {
+			t.Fatalf("rings disagree on (%s, %d): %d vs %d", k.gw, k.epoch, got, want)
+		}
+		if again := a.Lookup(k.gw, k.epoch); again != a.Lookup(k.gw, k.epoch) || again != b.Lookup(k.gw, k.epoch) {
+			t.Fatalf("lookup not stable for (%s, %d)", k.gw, k.epoch)
+		}
+	}
+}
+
+// TestRingMinimalMovement checks the consistent-hashing property the dedup
+// caches rely on across resizes: growing the ring from N to N+1 shards
+// moves only keys that land on the new shard (nobody reshuffles between
+// surviving shards), and the moved fraction is close to the ideal
+// 1/(N+1).
+func TestRingMinimalMovement(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		before := NewRing(shards, 0)
+		after := NewRing(shards+1, 0)
+		keys := ringKeys(8000)
+		moved := 0
+		for _, k := range keys {
+			a, b := before.Lookup(k.gw, k.epoch), after.Lookup(k.gw, k.epoch)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != shards {
+				t.Fatalf("shards=%d: key (%s, %d) moved %d→%d, but only moves to the new shard %d are allowed",
+					shards, k.gw, k.epoch, a, b, shards)
+			}
+		}
+		ideal := float64(len(keys)) / float64(shards+1)
+		// Twice the ideal churn is the red line: beyond it the ring is
+		// reshuffling, not rebalancing.
+		if float64(moved) > 2*ideal {
+			t.Errorf("shards=%d→%d: %d keys moved, ideal %.0f — too much churn", shards, shards+1, moved, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("shards=%d→%d: no keys moved — the new shard is empty", shards, shards+1)
+		}
+	}
+}
+
+// TestRingSingleShard pins the degenerate plane: everything routes to 0.
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, 4)
+	for _, k := range ringKeys(100) {
+		if got := r.Lookup(k.gw, k.epoch); got != 0 {
+			t.Fatalf("single-shard ring routed (%s, %d) to %d", k.gw, k.epoch, got)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package fleetsim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/backhaul"
+	"repro/internal/cancel"
+)
+
+func clock() int64 { return time.Now().UnixNano() }
+
+// TestSmallFleetRealDecode is the correctness soak: a small fleet decoding
+// for real through a 2-shard plane. Every shipped segment must be decoded
+// exactly once, no queue pressure, and the plane must wind down clean.
+func TestSmallFleetRealDecode(t *testing.T) {
+	cfg := Config{
+		Gateways: 6,
+		Captures: 1,
+		Shards:   2,
+		Workers:  2,
+		Seed:     42,
+		Clock:    clock,
+	}
+	wl, err := GenWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Packets() == 0 {
+		t.Fatal("workload generated no traffic")
+	}
+	rep, err := Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report: %+v", rep)
+	if rep.GatewayErrors != 0 {
+		t.Fatalf("%d gateways failed", rep.GatewayErrors)
+	}
+	if rep.SegmentsDecoded == 0 {
+		t.Fatal("no segments decoded")
+	}
+	if rep.FramesReported == 0 {
+		t.Fatal("no frames came back")
+	}
+	if rep.Duplicates != 0 {
+		t.Fatalf("%d duplicate decodes across shards", rep.Duplicates)
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("%d busy rejects at this load", rep.Rejected)
+	}
+	if rep.FinalSessions != 0 {
+		t.Fatalf("%d sessions still registered after the fleet exited", rep.FinalSessions)
+	}
+	if rep.PeakSessions == 0 {
+		t.Fatal("session gauge never sampled above zero")
+	}
+	var sessions uint64
+	for _, sh := range rep.PerShard {
+		if sh.Admitted != sh.Completed {
+			t.Fatalf("shard %d admitted %d but completed %d", sh.Shard, sh.Admitted, sh.Completed)
+		}
+		sessions += sh.Sessions
+	}
+	if sessions != uint64(cfg.Gateways) {
+		t.Fatalf("shards served %d sessions, want %d", sessions, cfg.Gateways)
+	}
+}
+
+// burnDecode is a synthetic decode with a fixed service time: it makes
+// decode capacity — not host CPU or the detection pipeline — the plane's
+// bottleneck, so throughput scaling is attributable to sharding.
+func burnDecode(service time.Duration) func(context.Context, backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error) {
+	return func(ctx context.Context, seg backhaul.Segment) (backhaul.FramesReport, cancel.Stats, error) {
+		time.Sleep(service)
+		return backhaul.FramesReport{SegmentStart: seg.Start}, cancel.Stats{}, nil
+	}
+}
+
+// TestFleetThroughputScalesWithShards is the headline soak: the same
+// seeded workload through a 1-shard and a 4-shard plane with a fixed
+// synthetic decode service time, in the outage-recovery drain scenario
+// (SpoolFirst) so arrival timing — single-host detection speed — does not
+// pollute the capacity measurement. Decode-plane throughput must scale at
+// least 3x, with zero duplicates and no admission-queue collapse.
+func TestFleetThroughputScalesWithShards(t *testing.T) {
+	base := Config{
+		Gateways:       80,
+		Captures:       1,
+		CaptureSamples: 1 << 14,
+		Workers:        2,
+		Seed:           7,
+		Decode:         burnDecode(200 * time.Millisecond),
+		Clock:          clock,
+		SpoolFirst:     true,
+	}
+	wl, err := GenWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards int) *Report {
+		cfg := base
+		cfg.Shards = shards
+		rep, err := Run(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("shards=%d: decoded=%d throughput=%.1f/s capacity=%.1f/s duration=%.0fms latency=%+v peak=%d",
+			shards, rep.SegmentsDecoded, rep.Throughput, rep.Capacity, rep.DurationMillis, rep.Latency, rep.PeakSessions)
+		for _, sh := range rep.PerShard {
+			t.Logf("  shard %d: sessions=%d decoded=%d rejected=%d", sh.Shard, sh.Sessions, sh.Decoded, sh.Rejected)
+		}
+		if rep.GatewayErrors != 0 {
+			t.Fatalf("shards=%d: %d gateways failed", shards, rep.GatewayErrors)
+		}
+		if rep.Duplicates != 0 {
+			t.Fatalf("shards=%d: %d duplicate decodes", shards, rep.Duplicates)
+		}
+		if rep.Rejected != 0 {
+			t.Fatalf("shards=%d: admission queue collapsed (%d rejects)", shards, rep.Rejected)
+		}
+		for _, sh := range rep.PerShard {
+			if sh.Admitted != sh.Completed {
+				t.Fatalf("shards=%d: shard %d admitted %d completed %d", shards, sh.Shard, sh.Admitted, sh.Completed)
+			}
+		}
+		return rep
+	}
+	one := run(1)
+	four := run(4)
+	if one.SegmentsDecoded != four.SegmentsDecoded {
+		t.Fatalf("same workload decoded %d segments on 1 shard but %d on 4", one.SegmentsDecoded, four.SegmentsDecoded)
+	}
+	ratio := four.Capacity / one.Capacity
+	if ratio < 3 {
+		t.Fatalf("decode capacity scaled %.2fx from 1 to 4 shards, want >= 3x (1: %.1f/s, 4: %.1f/s)",
+			ratio, one.Capacity, four.Capacity)
+	}
+}

@@ -265,6 +265,26 @@ func (g *Gateway) handle(segments []detect.StreamSegment, detectDur int64) Resul
 	return res
 }
 
+// scaleWindow applies the cloud's hello-ack capacity advice to the shipping
+// window. An auto-sized window (Config.Window unset) grows with the decode
+// plane: a sharded cloud serves each session from one shard but spreads the
+// fleet over all of them, so a gateway can keep DefaultWindow segments in
+// flight per advertised shard. The landing shard's own admission bound
+// (ack.Window) then caps the result either way — pipelining past what the
+// shard will queue only buys busy rejects. A caller-pinned window is never
+// grown, only shrunk by the shard bound.
+func scaleWindow(auto bool, window int, ack backhaul.HelloAck) int {
+	if auto && ack.Shards > 1 {
+		if w := DefaultWindow * ack.Shards; w > window {
+			window = w
+		}
+	}
+	if ack.Window > 0 && ack.Window < window {
+		window = ack.Window
+	}
+	return window
+}
+
 // likelyCollision reports whether a segment still contains significant
 // structure after the edge decode, meaning more transmissions may be
 // hiding; such segments go to the cloud despite the local success.
@@ -313,8 +333,9 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 	}); err != nil {
 		return err
 	}
+	auto := g.cfg.Window <= 0
 	window := g.cfg.Window
-	if window <= 0 {
+	if auto {
 		window = DefaultWindow
 	}
 	if version >= 2 {
@@ -331,9 +352,7 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 		if err != nil {
 			return fmt.Errorf("gateway: bad hello ack: %w", err)
 		}
-		if ack.Window > 0 && ack.Window < window {
-			window = ack.Window
-		}
+		window = scaleWindow(auto, window, ack)
 	}
 	// Reader side: collect decode reports and busy rejects until the bye
 	// ack. On v2 sessions every reply returns one window token.

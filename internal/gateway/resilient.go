@@ -145,6 +145,7 @@ type resilientRun struct {
 	rc      Resilient
 	rm      *resMetrics
 	window  int
+	auto    bool // Config.Window was unset: ack capacity hints may grow it
 	spool   *resilience.Spool
 	reports func(backhaul.FramesReport)
 	hello   backhaul.Hello
@@ -190,8 +191,9 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 	for _, t := range g.cfg.Techs {
 		techs = append(techs, t.Name())
 	}
+	auto := g.cfg.Window <= 0
 	window := g.cfg.Window
-	if window <= 0 {
+	if auto {
 		window = DefaultWindow
 	}
 	rm := g.newResMetrics()
@@ -200,6 +202,7 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 		rc:      rc,
 		rm:      rm,
 		window:  window,
+		auto:    auto,
 		spool:   resilience.NewSpool(rc.SpoolCapacity),
 		reports: reports,
 		backoff: resilience.NewBackoff(rc.Retry),
@@ -313,10 +316,9 @@ func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error
 	if err != nil {
 		return false, fmt.Errorf("gateway: bad hello ack: %w", err)
 	}
-	window := r.window
-	if ack.Window > 0 && ack.Window < window {
-		window = ack.Window
-	}
+	// Window sizing is re-derived every session: a redial may land on a
+	// plane whose shard count or admission bounds changed.
+	window := scaleWindow(r.auto, r.window, ack)
 	// Established: renegotiated and ready to ship. Consecutive-failure
 	// accounting restarts here, and anything after the first session is by
 	// definition a reconnect.

@@ -68,7 +68,9 @@ type CompareOptions struct {
 	AllocSlack float64
 }
 
-func (o *CompareOptions) defaults() {
+// withDefaults fills zero fields in, returning the completed copy (value
+// semantics keep CompareOptions free of lock concerns).
+func withDefaults(o CompareOptions) CompareOptions {
 	if o.RelThreshold <= 0 {
 		o.RelThreshold = 0.35
 	}
@@ -78,6 +80,7 @@ func (o *CompareOptions) defaults() {
 	if o.AllocSlack <= 0 {
 		o.AllocSlack = 2
 	}
+	return o
 }
 
 // Compare evaluates cur against base stage by stage. Gating metrics are
@@ -88,7 +91,7 @@ func Compare(base, cur *Report, opts CompareOptions) (*Comparison, error) {
 	if base.SchemaVersion != cur.SchemaVersion {
 		return nil, fmt.Errorf("perf: schema mismatch: baseline v%d vs current v%d", base.SchemaVersion, cur.SchemaVersion)
 	}
-	opts.defaults()
+	opts = withDefaults(opts)
 
 	cmp := &Comparison{}
 	if base.Env != cur.Env {

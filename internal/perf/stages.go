@@ -3,12 +3,16 @@ package perf
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 
 	"repro/internal/backhaul"
 	"repro/internal/cancel"
+	"repro/internal/cloud"
 	"repro/internal/detect"
 	"repro/internal/farm"
+	"repro/internal/frontend"
+	"repro/internal/gateway"
 	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/phy/lora"
@@ -31,6 +35,7 @@ const (
 	laneColl3
 	laneCollDSSS
 	laneFarm
+	laneE2E
 )
 
 // workbench carries what every stage build shares.
@@ -113,6 +118,7 @@ func stageDefs() []stageDef {
 		{name: "kill_css", hot: true, quickIters: 8, fullIters: 32, build: buildKillCSS},
 		{name: "kill_codes", hot: true, quickIters: 8, fullIters: 32, build: buildKillCodes},
 		{name: "farm_queue", hot: false, quickIters: 8, fullIters: 32, skipAlloc: true, build: buildFarmQueue},
+		{name: "e2e_gateway_cloud", hot: false, quickIters: 2, fullIters: 8, skipAlloc: true, build: buildE2EGatewayCloud},
 	}
 }
 
@@ -346,6 +352,68 @@ func buildKillCodes(b *workbench) (*runner, error) {
 		run: func() int {
 			cancel.KillCodes(scen.Capture, coded, benchSampleRate, 0.05)
 			return 0
+		},
+	}, nil
+}
+
+// buildE2EGatewayCloud measures the whole pipeline end to end the way
+// examples/gateway-cloud runs it: one seeded capture per iteration through
+// a real gateway session — detection, segment encode, the backhaul wire
+// (an in-memory pipe), inline cloud decode, and the frames report coming
+// back. The ns/op of this stage is the e2e decode latency of a capture.
+// Concurrent by construction (session reader/writer goroutines and the
+// cloud side), so it is not a hot (gating) stage and skips the alloc probe.
+func buildE2EGatewayCloud(b *workbench) (*runner, error) {
+	techs := []phy.Technology{xbee.Default(), zwave.Default()}
+	scen, err := sim.GenTraffic(sim.TrafficConfig{
+		Techs:      techs,
+		SampleRate: benchSampleRate,
+		Duration:   1 << 16,
+		MeanGap:    0.005,
+		SNRMin:     12,
+		SNRMax:     18,
+		PayloadMin: 6,
+		PayloadMax: 14,
+	}, b.gen(laneE2E))
+	if err != nil {
+		return nil, err
+	}
+	g, err := gateway.New(gateway.Config{
+		ID:       "perf-e2e",
+		Techs:    techs,
+		Frontend: frontend.Ideal(benchSampleRate),
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc := cloud.NewService(techs)
+	capture := scen.Capture
+	return &runner{
+		samplesPerIter: len(capture),
+		run: func() int {
+			gw, cl := net.Pipe()
+			var srvWG sync.WaitGroup
+			srvWG.Add(1)
+			go func() {
+				defer srvWG.Done()
+				// A clean bye returns nil; anything else is a harness bug.
+				if err := svc.ServeConn(cl); err != nil {
+					panic(fmt.Sprintf("perf: e2e cloud session: %v", err))
+				}
+			}()
+			captures := make(chan []complex128, 1)
+			captures <- capture
+			close(captures)
+			frames := 0
+			if err := g.Run(gw, captures, func(r backhaul.FramesReport) {
+				frames += len(r.Frames)
+			}); err != nil {
+				panic(fmt.Sprintf("perf: e2e gateway session: %v", err))
+			}
+			_ = gw.Close()
+			_ = cl.Close()
+			srvWG.Wait()
+			return frames
 		},
 	}, nil
 }
