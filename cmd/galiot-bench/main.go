@@ -8,6 +8,7 @@
 //	galiot-bench -quick -out BENCH.json                    # measure
 //	galiot-bench -quick -baseline BENCH_BASELINE.json      # measure + gate
 //	galiot-bench -compare-only -out BENCH.json -baseline B # re-gate, no run
+//	galiot-bench -trend BENCH1.json BENCH2.json BENCH3.json # cross-run trend
 //	galiot-bench -list                                     # stage names
 package main
 
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -33,8 +35,32 @@ func main() {
 		stages      = flag.String("stages", "", "comma-separated stage filter (default: all)")
 		list        = flag.Bool("list", false, "print stage names and exit")
 		compareOnly = flag.Bool("compare-only", false, "skip measuring; load -out as the current report and compare against -baseline")
+		trend       = flag.Bool("trend", false, "skip measuring; render a cross-run trend table from the report files given as arguments, oldest first")
 	)
 	flag.Parse()
+
+	if *trend {
+		paths := flag.Args()
+		if len(paths) < 2 {
+			fatalf("-trend needs at least two report files, oldest first")
+		}
+		labels := make([]string, len(paths))
+		reports := make([]*perf.Report, len(paths))
+		for i, p := range paths {
+			r, err := loadReport(p)
+			if err != nil {
+				fatalf("load report: %v", err)
+			}
+			labels[i] = filepath.Base(p)
+			reports[i] = r
+		}
+		tr, err := perf.TrendOf(labels, reports)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(tr.Render())
+		return
+	}
 
 	if *list {
 		for _, n := range perf.StageNames() {

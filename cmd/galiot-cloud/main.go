@@ -11,9 +11,9 @@
 // With -shards N (N > 1) the process runs the sharded decode plane
 // instead of a single service: N shared-nothing decode shards behind one
 // accept loop, sessions routed by a consistent hash of (gateway, epoch),
-// per-shard metrics under cloud_shard<i>_*:
-//
-//	galiot-cloud -listen :7373 -shards 4
+// per-shard metrics under cloud_shard<i>_*. The -obs-addr endpoint then
+// also serves /fleet/metrics: the rollup across the plane registry and
+// every shard farm's private registry, with exact per-target breakdown.
 package main
 
 import (
@@ -38,7 +38,7 @@ func main() {
 		shards         = flag.Int("shards", 1, "decode-plane shard count; > 1 runs the sharded front tier (sessions routed by consistent hash of gateway and epoch)")
 		sessionTimeout = flag.Duration("session-timeout", 0, "reap sessions idle for this long (0 = never)")
 		dedupTTL       = flag.Duration("dedup-ttl", 0, "evict replay-dedup cache entries older than this (0 = count-bound only)")
-		obsAddr        = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
+		obsAddr        = flag.String("obs-addr", "", "serve /metrics, /trace/recent, /events/recent, /healthz, /readyz, /fleet/metrics and pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -49,22 +49,12 @@ func main() {
 	reg := galiot.NewObsRegistry()
 	tracer := galiot.NewObsTracer(0)
 	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
-	if *obsAddr != "" {
-		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
-		if err := obsSrv.Start(*obsAddr); err != nil {
-			fmt.Fprintln(os.Stderr, "galiot-cloud: obs server:", err)
-			os.Exit(1)
-		}
-		defer func() {
-			if err := obsSrv.Close(); err != nil {
-				log.Printf("obs server close: %v", err)
-			}
-		}()
-		log.Printf("observability endpoints on http://%s/metrics", obsSrv.Addr())
-	}
+	journal := galiot.NewObsJournal(0)
+	journal.SetClock(func() int64 { return time.Now().UnixNano() })
+	health := galiot.NewObsHealth()
 
 	if *shards > 1 {
-		runSharded(*listen, *shards, *workers, *queue, *sessionTimeout, *dedupTTL, *quiet, techs, reg, tracer)
+		runSharded(*listen, *obsAddr, *shards, *workers, *queue, *sessionTimeout, *dedupTTL, *quiet, techs, reg, tracer, journal, health)
 		return
 	}
 
@@ -77,13 +67,21 @@ func main() {
 		svc.SetDedupTTL(*dedupTTL, time.Now)
 	}
 	if *workers > 0 {
-		svc.StartFarm(galiot.FarmConfig{
+		fm := svc.StartFarm(galiot.FarmConfig{
 			Workers:    *workers,
 			QueueDepth: *queue,
 			Clock:      func() int64 { return time.Now().UnixNano() },
 		})
+		fm.RegisterHealth(health, "cloud_farm_headroom")
 	}
-	srv := &galiot.CloudServer{Service: svc, SessionTimeout: *sessionTimeout}
+	// Single-service mode still serves /fleet/metrics: a one-target rollup
+	// over the service registry, so tooling (galiot-top) reads the same
+	// shape regardless of shard count.
+	fl := galiot.NewObsFleet(galiot.ObsRegistryTarget("cloud", reg))
+	closeObs := startObs(*obsAddr, reg, tracer, journal, health, fl)
+	defer closeObs()
+
+	srv := &galiot.CloudServer{Service: svc, SessionTimeout: *sessionTimeout, Journal: journal}
 	if err := srv.Listen(*listen); err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-cloud:", err)
 		os.Exit(1)
@@ -107,8 +105,9 @@ func main() {
 
 // runSharded serves the sharded decode plane: the front tier routes each
 // session to one of the shards, every shard runs its own decode farm, and
-// shutdown reports per-shard session and farm counters.
-func runSharded(listen string, shards, workers, queue int, sessionTimeout, dedupTTL time.Duration, quiet bool, techs []galiot.Technology, reg *galiot.ObsRegistry, tracer *galiot.ObsTracer) {
+// shutdown reports per-shard session and farm counters plus the fleet
+// rollup across every shard registry.
+func runSharded(listen, obsAddr string, shards, workers, queue int, sessionTimeout, dedupTTL time.Duration, quiet bool, techs []galiot.Technology, reg *galiot.ObsRegistry, tracer *galiot.ObsTracer, journal *galiot.ObsJournal, health *galiot.ObsHealth) {
 	cfg := galiot.FleetConfig{
 		Shards:     shards,
 		Workers:    workers,
@@ -117,6 +116,8 @@ func runSharded(listen string, shards, workers, queue int, sessionTimeout, dedup
 		Obs:        reg,
 		Tracer:     tracer,
 		Clock:      func() int64 { return time.Now().UnixNano() },
+		Journal:    journal,
+		Health:     health,
 	}
 	if !quiet {
 		cfg.Logf = log.Printf
@@ -130,8 +131,16 @@ func runSharded(listen string, shards, workers, queue int, sessionTimeout, dedup
 		fmt.Fprintln(os.Stderr, "galiot-cloud:", err)
 		os.Exit(1)
 	}
+	// The fleet aggregator scrapes the plane registry plus every shard
+	// farm's private registry, so -obs-addr exposes all per-shard series
+	// through /fleet/metrics with exact per-target breakdown.
+	fl := galiot.NewObsFleet(front.Targets()...)
+	closeObs := startObs(obsAddr, reg, tracer, journal, health, fl)
+	defer closeObs()
+
 	srv := front.NewServer()
 	srv.SessionTimeout = sessionTimeout
+	srv.Journal = journal
 	if err := srv.Listen(listen); err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-cloud:", err)
 		os.Exit(1)
@@ -145,12 +154,36 @@ func runSharded(listen string, shards, workers, queue int, sessionTimeout, dedup
 		log.Printf("close: %v", err)
 	}
 	stats := front.Stats() // refreshes cloud_shard<i>_* gauges for the final snapshot
+	rollup := fl.Collect() // freeze the fleet rollup while the shard registries are final
 	front.Close()          // drain every shard farm after the sessions are done
 	for _, st := range stats {
 		log.Printf("shard %d: %d sessions routed, farm %d admitted, %d completed, %d rejected",
 			st.Shard, st.Sessions, st.Farm.Admitted, st.Farm.Completed, st.Farm.Rejected)
 	}
 	logMetrics(reg)
+	if data, err := json.Marshal(rollup); err == nil {
+		log.Printf("fleet rollup: %s", data)
+	}
+}
+
+// startObs starts the observability endpoint when addr is set and returns
+// its closer (a no-op when off). The fleet aggregator must be wired before
+// Start so /fleet/metrics never races a concurrent scrape.
+func startObs(addr string, reg *galiot.ObsRegistry, tracer *galiot.ObsTracer, journal *galiot.ObsJournal, health *galiot.ObsHealth, fl *galiot.ObsFleet) func() {
+	if addr == "" {
+		return func() {}
+	}
+	obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer, Journal: journal, Health: health, Fleet: fl}
+	if err := obsSrv.Start(addr); err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-cloud: obs server:", err)
+		os.Exit(1)
+	}
+	log.Printf("observability endpoints on http://%s/metrics", obsSrv.Addr())
+	return func() {
+		if err := obsSrv.Close(); err != nil {
+			log.Printf("obs server close: %v", err)
+		}
+	}
 }
 
 func waitForInterrupt() {

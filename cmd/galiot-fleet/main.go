@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/galiot"
@@ -29,21 +30,33 @@ import (
 
 func main() {
 	var (
-		gateways = flag.Int("gateways", 32, "fleet size (concurrent gateway sessions)")
-		captures = flag.Int("captures", 1, "captures per gateway")
-		samples  = flag.Int("samples", 1<<15, "samples per capture")
-		gapMs    = flag.Float64("gap", 5, "mean idle gap between transmissions within a capture (ms)")
-		shards   = flag.Int("shards", 2, "decode-plane shard count")
-		workers  = flag.Int("workers", 2, "decode-farm workers per shard")
-		queue    = flag.Int("queue", 256, "admission-queue depth per shard")
-		window   = flag.Int("window", 0, "pin every gateway's shipping window (0 = auto-size from the capacity hint)")
-		seed     = flag.Uint64("seed", 1, "workload and retry-jitter seed")
-		spool    = flag.Bool("spool-first", false, "outage-recovery drain: spool the whole fleet before the plane accepts sessions")
-		quick    = flag.Bool("quick", false, "CI preset: 100 gateways, 2 shards, 16k-sample captures, seed 1")
-		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
-		quiet    = flag.Bool("quiet", false, "suppress plane diagnostics")
+		gateways  = flag.Int("gateways", 32, "fleet size (concurrent gateway sessions)")
+		captures  = flag.Int("captures", 1, "captures per gateway")
+		samples   = flag.Int("samples", 1<<15, "samples per capture")
+		gapMs     = flag.Float64("gap", 5, "mean idle gap between transmissions within a capture (ms)")
+		shards    = flag.Int("shards", 2, "decode-plane shard count")
+		workers   = flag.Int("workers", 2, "decode-farm workers per shard")
+		queue     = flag.Int("queue", 256, "admission-queue depth per shard")
+		window    = flag.Int("window", 0, "pin every gateway's shipping window (0 = auto-size from the capacity hint)")
+		seed      = flag.Uint64("seed", 1, "workload and retry-jitter seed")
+		spool     = flag.Bool("spool-first", false, "outage-recovery drain: spool the whole fleet before the plane accepts sessions")
+		quick     = flag.Bool("quick", false, "CI preset: 100 gateways, 2 shards, 16k-sample captures, seed 1")
+		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		quiet     = flag.Bool("quiet", false, "suppress plane diagnostics")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /events/recent, /healthz, /readyz and /fleet/metrics on this address during the run (empty = off)")
+		obsLinger = flag.Duration("obs-linger", 0, "keep the observability endpoints up this long after the run so smoke tests can scrape the final state (SIGINT ends the linger early)")
+		rollupOut = flag.String("rollup-out", "", "write the fleet metrics rollup (the report's rollup field) to this file as JSON")
 	)
 	flag.Parse()
+
+	journal := galiot.NewObsJournal(0)
+	journal.SetClock(func() int64 { return time.Now().UnixNano() })
+	health := galiot.NewObsHealth()
+	// The aggregator starts empty; fleetsim feeds it the plane's targets
+	// through OnPlane once the shards are up, so /fleet/metrics goes from
+	// an empty rollup to the live per-shard view without an obs-server
+	// restart.
+	fl := galiot.NewObsFleet()
 
 	cfg := galiot.FleetSimConfig{
 		Gateways:       *gateways,
@@ -57,6 +70,13 @@ func main() {
 		Seed:           *seed,
 		SpoolFirst:     *spool,
 		Clock:          func() int64 { return time.Now().UnixNano() },
+		Journal:        journal,
+		Health:         health,
+		OnPlane: func(targets []galiot.ObsTarget) {
+			for _, t := range targets {
+				fl.Add(t)
+			}
+		},
 	}
 	if *quick {
 		cfg.Gateways = 100
@@ -67,6 +87,21 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
+	}
+
+	var obsSrv *galiot.ObsServer
+	if *obsAddr != "" {
+		obsSrv = &galiot.ObsServer{Journal: journal, Health: health, Fleet: fl}
+		if err := obsSrv.Start(*obsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-fleet: obs server:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := obsSrv.Close(); err != nil {
+				log.Printf("obs server close: %v", err)
+			}
+		}()
+		log.Printf("observability endpoints on http://%s/fleet/metrics", obsSrv.Addr())
 	}
 
 	wl, err := galiot.GenFleetWorkload(cfg)
@@ -101,6 +136,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
 			os.Exit(1)
 		}
+	}
+	if *rollupOut != "" {
+		rdata, err := json.MarshalIndent(rep.Rollup, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*rollupOut, append(rdata, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+			os.Exit(1)
+		}
+		log.Printf("fleet rollup written to %s", *rollupOut)
 	}
 
 	log.Printf("decoded %d segments (%d frames) in %.0f ms: throughput %.1f segs/s, capacity %.1f segs/s, latency p50=%.0fms p95=%.0fms",
@@ -137,4 +184,17 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("invariants hold: no session errors, no cross-shard duplicates, no rejects, no leaked sessions")
+
+	// Optional linger: hold the observability endpoints open after the run
+	// so an external smoke test can scrape the final /fleet/metrics and
+	// /events/recent. An interrupt ends the linger early.
+	if obsSrv != nil && *obsLinger > 0 {
+		log.Printf("lingering %v for observability scrapes (interrupt to finish early)", *obsLinger)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		select {
+		case <-time.After(*obsLinger):
+		case <-sig:
+		}
+	}
 }

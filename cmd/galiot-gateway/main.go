@@ -50,15 +50,18 @@ func run() int {
 		protocol  = flag.Int("protocol", 0, "backhaul protocol version to offer (0 = latest; 1 = legacy request/reply, no reconnect)")
 		retry     = flag.Int("retry", 0, "max consecutive reconnect attempts before giving up (0 = default)")
 		spool     = flag.Int("spool", 0, "segment spool capacity between detection and backhaul (0 = default)")
-		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /trace/recent and pprof on this address (empty = off)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /trace/recent, /events/recent, /healthz, /readyz and pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
 	reg := galiot.NewObsRegistry()
 	tracer := galiot.NewObsTracer(0)
 	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
+	journal := galiot.NewObsJournal(0)
+	journal.SetClock(func() int64 { return time.Now().UnixNano() })
+	health := galiot.NewObsHealth()
 	if *obsAddr != "" {
-		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
+		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer, Journal: journal, Health: health}
 		if err := obsSrv.Start(*obsAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "galiot-gateway: obs server:", err)
 			return 1
@@ -85,6 +88,8 @@ func run() int {
 		Protocol:   *protocol,
 		Obs:        reg,
 		Tracer:     tracer,
+		Journal:    journal,
+		Health:     health,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-gateway:", err)
@@ -173,6 +178,11 @@ func run() int {
 			snap.Counters["gateway_reconnects_total"],
 			snap.Counters["gateway_spool_dropped_total"],
 			snap.Counters["gateway_replayed_segments_total"])
+		// The journal is the flight recorder for those transitions; dump it
+		// alongside the counters so a post-mortem has the exact sequence.
+		if data, err := json.Marshal(journal.Recent()); err == nil {
+			log.Printf("events: %s", data)
+		}
 	}
 	// The metrics line is the machine-readable exit summary; emit it on
 	// failure too so an aborted run still leaves its ledger behind.

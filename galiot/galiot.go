@@ -19,6 +19,7 @@
 package galiot
 
 import (
+	"net/http"
 	"sync"
 
 	"repro/internal/backhaul"
@@ -113,8 +114,34 @@ type (
 	ObsSnapshot = obs.Snapshot
 	// ObsTracer records per-segment spans (detect → ship → decode stages).
 	ObsTracer = obs.Tracer
-	// ObsServer exposes /metrics, /trace/recent and pprof over HTTP.
+	// ObsServer exposes /metrics, /trace/recent, /events/recent, /healthz,
+	// /readyz, /fleet/metrics and pprof over HTTP.
 	ObsServer = obs.Server
+	// ObsJournal is the deterministic ring-buffered event journal behind
+	// /events/recent; gateway, cloud server and fleet components record
+	// their state transitions onto one.
+	ObsJournal = obs.Journal
+	// ObsEvent is one recorded (possibly coalesced) journal entry.
+	ObsEvent = obs.Event
+	// ObsHealth is the component-health registry behind /healthz and
+	// /readyz.
+	ObsHealth = obs.Health
+	// ObsHealthSnapshot is one aggregate health verdict (the /healthz and
+	// /readyz body).
+	ObsHealthSnapshot = obs.HealthSnapshot
+	// ObsCheckStatus is one evaluated health check in a snapshot.
+	ObsCheckStatus = obs.CheckStatus
+	// ObsCheckResult is one health check's verdict (what a CheckFunc
+	// returns; see obs.Healthy / obs.Unhealthy for constructors).
+	ObsCheckResult = obs.CheckResult
+	// ObsFleet scrapes N metric endpoints or registries and merges them
+	// into a fleet-wide rollup (served at /fleet/metrics).
+	ObsFleet = obs.Fleet
+	// ObsFleetSnapshot is one point-in-time fleet rollup: exact counter
+	// sums, labeled gauge extremes, merged histogram sketches.
+	ObsFleetSnapshot = obs.FleetSnapshot
+	// ObsTarget is one named scrape source for an ObsFleet.
+	ObsTarget = obs.Target
 )
 
 // SampleRate is the paper's gateway sample rate: the RTL-SDR configured
@@ -231,6 +258,28 @@ func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 // wall-clock nanosecond source; the default clock is a deterministic step
 // counter suited to simulations and tests.
 func NewObsTracer(ringSize int) *ObsTracer { return obs.NewTracer(ringSize) }
+
+// NewObsJournal builds an event journal keeping the most recent ringSize
+// events (0 = default). Like the tracer, its default clock is a
+// deterministic step counter; SetClock it for wall-clock timestamps.
+func NewObsJournal(ringSize int) *ObsJournal { return obs.NewJournal(ringSize) }
+
+// NewObsHealth builds an empty component-health registry.
+func NewObsHealth() *ObsHealth { return obs.NewHealth() }
+
+// NewObsFleet builds a fleet aggregator over the given scrape targets.
+func NewObsFleet(targets ...ObsTarget) *ObsFleet { return obs.NewFleet(targets...) }
+
+// ObsRegistryTarget makes an in-process registry a fleet scrape target.
+func ObsRegistryTarget(name string, r *ObsRegistry) ObsTarget {
+	return obs.RegistryTarget(name, r)
+}
+
+// ObsHTTPTarget makes a remote /metrics endpoint a fleet scrape target
+// (nil client uses a 5 s-timeout default).
+func ObsHTTPTarget(name, url string, client *http.Client) ObsTarget {
+	return obs.HTTPTarget(name, url, client)
+}
 
 // DefaultFrontend returns the paper's prototype front-end model: 1 MHz,
 // 8-bit quantization, DC offset, IQ imbalance, 500 Hz tuner error.

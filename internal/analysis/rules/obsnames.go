@@ -10,21 +10,56 @@ import (
 	"repro/internal/obs"
 )
 
-// ObsNames enforces the metric naming scheme on obs.Registry registrations:
-// every string-literal name passed to Registry.Counter/Gauge/Histogram must
-// be subsystem_name_unit — lowercase snake_case, at least three segments,
-// the final segment a unit from obs.MetricUnits. Names built at runtime
-// are outside a linter's reach; the registry itself panics on those.
+// ObsNames enforces the observability naming vocabulary on string-literal
+// registrations: metric names (Registry.Counter/Gauge/Histogram) must be
+// subsystem_name_unit with a unit from obs.MetricUnits, event names
+// (Journal.Record) must be subsystem_subject_verb with a verb from
+// obs.EventVerbs, and health-check names (Health.Register /
+// RegisterReadiness) must be subsystem_subject_condition with a condition
+// from obs.HealthSuffixes. Names built at runtime are outside a linter's
+// reach; the registries themselves panic on those.
 var ObsNames = &analysis.Analyzer{
 	Name: "obsnames",
-	Doc:  "enforces the subsystem_name_unit metric naming scheme on obs.Registry registrations",
+	Doc:  "enforces the metric, event and health-check naming vocabulary on obs registrations",
 	Run:  runObsNames,
 }
 
-// registryMethods are the Registry getters whose first argument is a
-// metric name.
-var registryMethods = map[string]bool{
-	"Counter": true, "Gauge": true, "Histogram": true,
+// obsNameCheck validates one name class: which obs receiver type and
+// methods register it, how to validate, and what to say when it fails.
+type obsNameCheck struct {
+	recv    string          // receiver type name in internal/obs
+	methods map[string]bool // methods whose first argument is the name
+	valid   func(string) bool
+	kind    string // diagnostic noun
+	scheme  string // diagnostic scheme description
+	vocab   []string
+}
+
+var obsNameChecks = []obsNameCheck{
+	{
+		recv:    "Registry",
+		methods: map[string]bool{"Counter": true, "Gauge": true, "Histogram": true},
+		valid:   obs.ValidMetricName,
+		kind:    "metric name",
+		scheme:  "subsystem_name_unit: lowercase snake_case, >= 3 segments, unit one of",
+		vocab:   obs.MetricUnits,
+	},
+	{
+		recv:    "Journal",
+		methods: map[string]bool{"Record": true},
+		valid:   obs.ValidEventName,
+		kind:    "event name",
+		scheme:  "subsystem_subject_verb: lowercase snake_case, >= 2 segments, verb one of",
+		vocab:   obs.EventVerbs,
+	},
+	{
+		recv:    "Health",
+		methods: map[string]bool{"Register": true, "RegisterReadiness": true},
+		valid:   obs.ValidHealthName,
+		kind:    "health check name",
+		scheme:  "subsystem_subject_condition: lowercase snake_case, >= 2 segments, condition one of",
+		vocab:   obs.HealthSuffixes,
+	},
 }
 
 func runObsNames(pass *analysis.Pass) {
@@ -35,33 +70,36 @@ func runObsNames(pass *analysis.Pass) {
 				return true
 			}
 			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok || !registryMethods[sel.Sel.Name] {
-				return true
-			}
-			if !isObsRegistry(pass.Info.TypeOf(sel.X)) {
-				return true
-			}
-			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
 			if !ok {
-				return true // dynamic name: checked at runtime by the registry
-			}
-			name, err := strconv.Unquote(lit.Value)
-			if err != nil {
 				return true
 			}
-			if !obs.ValidMetricName(name) {
-				pass.Reportf(lit.Pos(),
-					"metric name %q does not follow subsystem_name_unit: lowercase snake_case, >= 3 segments, unit one of %s",
-					name, strings.Join(obs.MetricUnits, "/"))
+			for i := range obsNameChecks {
+				c := &obsNameChecks[i]
+				if !c.methods[sel.Sel.Name] || !isObsType(pass.Info.TypeOf(sel.X), c.recv) {
+					continue
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok {
+					return true // dynamic name: checked at runtime by the registry
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if !c.valid(name) {
+					pass.Reportf(lit.Pos(), "%s %q does not follow %s %s",
+						c.kind, name, c.scheme, strings.Join(c.vocab, "/"))
+				}
+				return true
 			}
 			return true
 		})
 	}
 }
 
-// isObsRegistry reports whether t is (a pointer to) the Registry type of a
+// isObsType reports whether t is (a pointer to) the named type of a
 // package whose import path ends in internal/obs.
-func isObsRegistry(t types.Type) bool {
+func isObsType(t types.Type, name string) bool {
 	if t == nil {
 		return false
 	}
@@ -73,7 +111,7 @@ func isObsRegistry(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	if obj == nil || obj.Name() != "Registry" || obj.Pkg() == nil {
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
 		return false
 	}
 	return strings.HasSuffix(obj.Pkg().Path(), "internal/obs")

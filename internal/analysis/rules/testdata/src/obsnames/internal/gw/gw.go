@@ -18,18 +18,53 @@ func bad(r *obs.Registry) {
 	_ = r.Counter("1gateway_segments_total")  // want "metric name \\\"1gateway_segments_total\\\" does not follow subsystem_name_unit"
 }
 
-// Dynamic names cannot be checked statically; the registry validates them
-// at runtime instead.
-func dynamic(r *obs.Registry, tech string) {
-	_ = r.Counter("gateway_frames_" + tech + "_total")
+// Event names: subsystem_subject_verb, verb from the closed vocabulary.
+func goodEvents(j *obs.Journal) {
+	j.Record("backhaul_conn_die", 1)
+	j.Record("gateway_degraded_enter", 0)
+	j.Record("cloud_session_reap", 3)
+	j.Record("fleet_shard_attach", 2)
 }
 
-// A same-named method on an unrelated type is not a registry registration.
+func badEvents(j *obs.Journal) {
+	j.Record("BackhaulDied", 1)         // want "event name \\\"BackhaulDied\\\" does not follow subsystem_subject_verb"
+	j.Record("reconnect", 1)            // want "event name \\\"reconnect\\\" does not follow subsystem_subject_verb"
+	j.Record("backhaul_conn_failed", 1) // want "event name \\\"backhaul_conn_failed\\\" does not follow subsystem_subject_verb"
+	j.Record("gateway__busy_reject", 1) // want "event name \\\"gateway__busy_reject\\\" does not follow subsystem_subject_verb"
+}
+
+// Health-check names: subsystem_subject_condition, condition from the
+// closed vocabulary.
+func goodHealth(h *obs.Health) {
+	h.Register("gateway_backhaul_connected", func() obs.CheckResult { return obs.CheckResult{Healthy: true} })
+	h.RegisterReadiness("cloud_farm_headroom", func() obs.CheckResult { return obs.CheckResult{Healthy: true} })
+}
+
+func badHealth(h *obs.Health) {
+	h.Register("backhaul_up", nil)           // want "health check name \\\"backhaul_up\\\" does not follow subsystem_subject_condition"
+	h.RegisterReadiness("FarmHeadroom", nil) // want "health check name \\\"FarmHeadroom\\\" does not follow subsystem_subject_condition"
+	h.RegisterReadiness("headroom", nil)     // want "health check name \\\"headroom\\\" does not follow subsystem_subject_condition"
+}
+
+// Dynamic names cannot be checked statically; the registries validate them
+// at runtime instead.
+func dynamic(r *obs.Registry, j *obs.Journal, tech string) {
+	_ = r.Counter("gateway_frames_" + tech + "_total")
+	j.Record("gateway_"+tech+"_establish", 1)
+}
+
+// A same-named method on an unrelated type is not a registration.
 type fake struct{}
 
 func (fake) Counter(name string) int { return 0 }
 
+func (fake) Record(name string, value int64) {}
+
+func (fake) Register(name string, check func()) {}
+
 func unrelated() {
 	var f fake
 	_ = f.Counter("NotAMetric")
+	f.Record("NotAnEvent", 1)
+	f.Register("NotACheck", nil)
 }

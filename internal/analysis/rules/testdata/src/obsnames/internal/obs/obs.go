@@ -20,3 +20,22 @@ func (r *Registry) Counter(name string) *Counter { return &Counter{} }
 func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
 
 func (r *Registry) Histogram(name string, window int) *Histogram { return &Histogram{} }
+
+type Journal struct{}
+
+func NewJournal(ringSize int) *Journal { return &Journal{} }
+
+func (j *Journal) Record(name string, value int64) {}
+
+type CheckResult struct {
+	Healthy bool
+	Detail  string
+}
+
+type Health struct{}
+
+func NewHealth() *Health { return &Health{} }
+
+func (h *Health) Register(name string, check func() CheckResult) {}
+
+func (h *Health) RegisterReadiness(name string, check func() CheckResult) {}

@@ -28,6 +28,10 @@ type Server struct {
 	// Logf overrides the server's diagnostics sink. Nil uses Service.Logf
 	// (or silence when Service is nil too).
 	Logf func(format string, args ...any)
+	// Journal, when set, records a cloud_session_reap event (value: the
+	// session's total bytes moved) every time the idle sweeper closes a
+	// connection.
+	Journal *obs.Journal
 	// SessionTimeout reaps sessions that moved no bytes in either
 	// direction for at least this long: their connections are closed,
 	// which unwinds ServeConn and releases the session's farm slots.
@@ -238,6 +242,7 @@ func (s *Server) sweep(reaped *obs.Counter) {
 		}
 		c.reaped = true
 		reaped.Inc()
+		s.Journal.Record("cloud_session_reap", int64(c.lastSeen))
 		if logf := s.logf(); logf != nil {
 			logf("reaping idle session after %v of silence", s.SessionTimeout)
 		}

@@ -32,6 +32,7 @@ package farm
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/backhaul"
@@ -271,6 +272,28 @@ func (f *Farm) run() {
 		f.completed.Inc()
 		j.done(res)
 	}
+}
+
+// RegisterHealth registers the farm's saturation check on h under name
+// (which must carry the _headroom suffix, e.g. "cloud_farm_headroom"). It
+// is a readiness check: a saturated farm is alive and draining, but new
+// load is being rejected, so the process should not be sent more.
+func (f *Farm) RegisterHealth(h *obs.Health, name string) {
+	if h == nil {
+		return
+	}
+	h.RegisterReadiness(name, func() obs.CheckResult {
+		f.mu.Lock()
+		queued, closed := f.queued(), f.closed
+		f.mu.Unlock()
+		if closed {
+			return obs.Unhealthy("farm closed")
+		}
+		if queued >= f.cfg.QueueDepth {
+			return obs.Unhealthy(fmt.Sprintf("queue saturated at %d/%d", queued, f.cfg.QueueDepth))
+		}
+		return obs.Healthy(fmt.Sprintf("%d/%d queued", queued, f.cfg.QueueDepth))
+	})
 }
 
 // Close stops intake and drains: every job admitted before Close ran is

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backhaul"
@@ -55,12 +56,27 @@ type Config struct {
 	// caches purely count-bound.
 	DedupTTL time.Duration
 	DedupNow func() time.Time
+	// Journal records shard lifecycle events: fleet_shard_attach as each
+	// shard comes up in New, fleet_shard_detach as Close drains it. Nil
+	// disables event recording.
+	Journal *obs.Journal
+	// Health receives the plane's checks: fleet_shard<i>_liveness per
+	// shard (unhealthy once the shard is detached) and each shard farm's
+	// cloud_shard<i>_headroom readiness check. Nil skips registration.
+	Health *obs.Health
 }
 
 // shard is one shared-nothing decode unit plus its front-side metrics.
 type shard struct {
 	svc  *cloud.Service
 	farm *farm.Farm
+	// reg is the shard farm's private registry, retained so the fleet
+	// aggregator (Targets) and tooling (ShardRegistry) can read the raw
+	// per-shard series, not just the gauges re-exported by Stats.
+	reg *obs.Registry
+	// detached flips when Close drains the shard; the shard's liveness
+	// check reads it.
+	detached atomic.Bool
 
 	sessions *obs.Counter // cloud_shard<i>_sessions_total
 	active   *obs.Gauge   // cloud_shard<i>_sessions_active_count
@@ -139,17 +155,19 @@ func New(cfg Config) (*Front, error) {
 		if cfg.WrapDecode != nil {
 			dec = cfg.WrapDecode(i, dec)
 		}
+		freg := obs.NewRegistry()
 		fm := svc.StartFarm(farm.Config{
 			Workers:    cfg.Workers,
 			QueueDepth: cfg.QueueDepth,
-			Obs:        obs.NewRegistry(),
+			Obs:        freg,
 			Clock:      cfg.Clock,
 			Decode:     dec,
 		})
 		p := fmt.Sprintf("cloud_shard%d_", i)
-		f.shards = append(f.shards, &shard{
+		sh := &shard{
 			svc:        svc,
 			farm:       fm,
+			reg:        freg,
 			sessions:   reg.Counter(p + "sessions_total"),
 			active:     reg.Gauge(p + "sessions_active_count"),
 			queuedG:    reg.Gauge(p + "jobs_queued_count"),
@@ -157,7 +175,18 @@ func New(cfg Config) (*Front, error) {
 			completedG: reg.Gauge(p + "jobs_completed_count"),
 			rejectedG:  reg.Gauge(p + "jobs_rejected_count"),
 			waitP99G:   reg.Gauge(p + "queue_wait_p99_samples"),
-		})
+		}
+		f.shards = append(f.shards, sh)
+		cfg.Journal.Record("fleet_shard_attach", int64(i))
+		if cfg.Health != nil {
+			cfg.Health.Register(fmt.Sprintf("fleet_shard%d_liveness", i), func() obs.CheckResult {
+				if sh.detached.Load() {
+					return obs.Unhealthy("shard detached")
+				}
+				return obs.Healthy(fmt.Sprintf("%d sessions active", sh.active.Value()))
+			})
+			fm.RegisterHealth(cfg.Health, fmt.Sprintf("cloud_shard%d_headroom", i))
+		}
 	}
 	return f, nil
 }
@@ -177,6 +206,24 @@ func (f *Front) Capacity() int { return f.capacity }
 
 // Service returns shard i's cloud service, for tests and tooling.
 func (f *Front) Service(i int) *cloud.Service { return f.shards[i].svc }
+
+// ShardRegistry returns shard i's private farm registry (the raw cloud_*
+// and farm_* series of that shard, not the cloud_shard<i>_* gauges the
+// plane registry re-exports).
+func (f *Front) ShardRegistry(i int) *obs.Registry { return f.shards[i].reg }
+
+// Targets exposes the whole plane as fleet-aggregation scrape targets:
+// the plane registry as "front" plus each shard farm's private registry
+// as "shard<i>". Feeding them to an obs.Fleet makes every per-shard
+// series visible through /fleet/metrics with exact per-target breakdown.
+func (f *Front) Targets() []obs.Target {
+	ts := make([]obs.Target, 0, len(f.shards)+1)
+	ts = append(ts, obs.RegistryTarget("front", f.reg))
+	for i, sh := range f.shards {
+		ts = append(ts, obs.RegistryTarget(fmt.Sprintf("shard%d", i), sh.reg))
+	}
+	return ts
+}
 
 // HandleConn serves one gateway connection: read the hello, route the
 // session to its shard by (gateway, epoch), and let the shard's service
@@ -245,7 +292,10 @@ func (f *Front) Stats() []ShardStats {
 // Close drains every shard farm: intake stops, every admitted segment
 // finishes. Close the accepting server first.
 func (f *Front) Close() {
-	for _, sh := range f.shards {
+	for i, sh := range f.shards {
 		sh.svc.Close()
+		if sh.detached.CompareAndSwap(false, true) {
+			f.cfg.Journal.Record("fleet_shard_detach", int64(i))
+		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/frontend"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/phy/xbee"
 	"repro/internal/phy/zwave"
@@ -86,6 +87,17 @@ type Config struct {
 	Clock func() int64
 	// Logf receives plane diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Journal receives the plane's shard lifecycle events (fleet.Config
+	// semantics). Nil disables event recording.
+	Journal *obs.Journal
+	// Health receives the plane's shard liveness and farm headroom checks
+	// (fleet.Config semantics). Nil skips registration.
+	Health *obs.Health
+	// OnPlane observes the decode plane's scrape targets as soon as the
+	// plane is up, before any session is accepted — commands feed them to
+	// a live obs.Fleet so -obs-addr serves /fleet/metrics during the run.
+	// Nil skips the callback.
+	OnPlane func(targets []obs.Target)
 }
 
 // withDefaults validates the config and fills zero fields in, returning
@@ -249,6 +261,11 @@ type Report struct {
 	Latency Quantiles `json:"latency"` // capture accepted -> report received
 
 	PerShard []ShardReport `json:"per_shard"`
+
+	// Rollup is the fleet-wide metrics aggregation over the plane registry
+	// and every shard farm's private registry, collected after the drain:
+	// the same view /fleet/metrics serves live, frozen into the report.
+	Rollup *obs.FleetSnapshot `json:"rollup,omitempty"`
 }
 
 // decodeProbe wraps every shard's decode function: it counts invocations
@@ -355,9 +372,14 @@ func Run(cfg Config, wl *Workload) (*Report, error) {
 		Decode:     cfg.Decode,
 		WrapDecode: probe.wrap,
 		Logf:       cfg.Logf,
+		Journal:    cfg.Journal,
+		Health:     cfg.Health,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.OnPlane != nil {
+		cfg.OnPlane(front.Targets())
 	}
 	// The listener binds immediately so gateways can dial (their
 	// connections queue in the TCP accept backlog), but in SpoolFirst mode
@@ -488,6 +510,9 @@ func Run(cfg Config, wl *Workload) (*Report, error) {
 	}
 	serveWG.Wait()
 	stats := front.Stats()
+	// Freeze the fleet rollup while the registries still hold the run's
+	// final numbers (Stats above refreshed the re-exported gauges).
+	rollup := obs.NewFleet(front.Targets()...).Collect()
 	front.Close()
 
 	rep := &Report{
@@ -503,6 +528,7 @@ func Run(cfg Config, wl *Workload) (*Report, error) {
 		PeakSessions:   peak,
 		FinalSessions:  finalSessions,
 		Latency:        quantiles(latencies),
+		Rollup:         &rollup,
 	}
 	probe.mu.Lock()
 	rep.Duplicates = probe.duplicates

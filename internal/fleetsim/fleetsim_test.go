@@ -2,11 +2,13 @@ package fleetsim
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
 	"repro/internal/backhaul"
 	"repro/internal/cancel"
+	"repro/internal/obs"
 )
 
 func clock() int64 { return time.Now().UnixNano() }
@@ -65,6 +67,95 @@ func TestSmallFleetRealDecode(t *testing.T) {
 	}
 	if sessions != uint64(cfg.Gateways) {
 		t.Fatalf("shards served %d sessions, want %d", sessions, cfg.Gateways)
+	}
+}
+
+// TestRunRollupMatchesPerShardRegistries is the rollup-correctness check:
+// the fleet-wide aggregation frozen into the report must agree exactly
+// with the per-shard farm snapshots the report itself carries — same
+// counters, summed across the same registries, through a different path.
+func TestRunRollupMatchesPerShardRegistries(t *testing.T) {
+	j := obs.NewJournal(obs.DefaultJournalRing)
+	h := obs.NewHealth()
+	cfg := Config{
+		Gateways: 6,
+		Captures: 1,
+		Shards:   3,
+		Workers:  2,
+		Seed:     42,
+		Clock:    clock,
+		Journal:  j,
+		Health:   h,
+	}
+	wl, err := GenWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GatewayErrors != 0 {
+		t.Fatalf("%d gateways failed", rep.GatewayErrors)
+	}
+	if rep.Rollup == nil {
+		t.Fatal("report carries no rollup")
+	}
+	if want := cfg.Shards + 1; len(rep.Rollup.Targets) != want {
+		t.Fatalf("rollup targets = %v, want %d (front + shards)", rep.Rollup.Targets, want)
+	}
+	if len(rep.Rollup.Errors) != 0 {
+		t.Fatalf("rollup scrape errors: %v", rep.Rollup.Errors)
+	}
+	for _, c := range []struct {
+		series string
+		shard  func(ShardReport) uint64
+	}{
+		{"farm_jobs_admitted_total", func(s ShardReport) uint64 { return s.Admitted }},
+		{"farm_jobs_completed_total", func(s ShardReport) uint64 { return s.Completed }},
+		{"farm_jobs_rejected_total", func(s ShardReport) uint64 { return s.Rejected }},
+	} {
+		agg, ok := rep.Rollup.Counters[c.series]
+		if !ok {
+			t.Fatalf("rollup is missing %s", c.series)
+		}
+		var sum uint64
+		for _, sh := range rep.PerShard {
+			sum += c.shard(sh)
+			name := fmt.Sprintf("shard%d", sh.Shard)
+			if agg.PerTarget[name] != c.shard(sh) {
+				t.Errorf("%s per-target %s = %d, want %d", c.series, name, agg.PerTarget[name], c.shard(sh))
+			}
+		}
+		if agg.Total != sum {
+			t.Errorf("%s rollup total = %d, want exact per-shard sum %d", c.series, agg.Total, sum)
+		}
+	}
+	// The merged queue-wait histogram covers every dispatch across shards.
+	qw, ok := rep.Rollup.Histograms["farm_queue_wait_samples"]
+	if !ok {
+		t.Fatal("rollup is missing farm_queue_wait_samples")
+	}
+	if qw.Count != rep.SegmentsDecoded {
+		t.Errorf("merged queue-wait count = %d, want %d (one dispatch per decode)", qw.Count, rep.SegmentsDecoded)
+	}
+
+	// Shard lifecycle events: one coalesced attach burst, one detach burst.
+	var attach, detach uint64
+	for _, e := range j.Recent() {
+		switch e.Name {
+		case "fleet_shard_attach":
+			attach += e.Count
+		case "fleet_shard_detach":
+			detach += e.Count
+		}
+	}
+	if attach != uint64(cfg.Shards) || detach != uint64(cfg.Shards) {
+		t.Errorf("journal saw %d attaches / %d detaches, want %d each", attach, detach, cfg.Shards)
+	}
+	// After Close every shard is detached: liveness must report it.
+	if h.Liveness().Healthy {
+		t.Error("liveness still healthy after the plane closed")
 	}
 }
 

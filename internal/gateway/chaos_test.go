@@ -1,11 +1,14 @@
 package gateway
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,6 +17,8 @@ import (
 	"repro/internal/farm"
 	"repro/internal/faults"
 	"repro/internal/frontend"
+	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // chaosRun drives RunResilient over chaosSegments captures against a fresh
@@ -22,10 +27,10 @@ import (
 // service, and the reports the gateway delivered.
 const chaosSegments = 8
 
-func chaosRun(t *testing.T, sched *faults.Schedule, epoch uint64) (*Gateway, *cloud.Service, []backhaul.FramesReport) {
+func chaosRun(t *testing.T, sched *faults.Schedule, epoch uint64, j *obs.Journal) (*Gateway, *cloud.Service, []backhaul.FramesReport) {
 	t.Helper()
 	ts := resTechs()
-	g, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4})
+	g, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4, Journal: j})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +102,8 @@ func payloadSet(reports []backhaul.FramesReport) []string {
 func TestChaosSoak(t *testing.T) {
 	// Control: no faults — zero reconnects, zero drops, every segment
 	// decoded exactly once.
-	g0, svc0, rep0 := chaosRun(t, nil, 3)
+	j0 := obs.NewJournal(obs.DefaultJournalRing)
+	g0, svc0, rep0 := chaosRun(t, nil, 3, j0)
 	if got := counter(t, g0, "gateway_reconnects_total"); got != 0 {
 		t.Fatalf("control reconnects = %d, want 0", got)
 	}
@@ -114,6 +120,10 @@ func TestChaosSoak(t *testing.T) {
 	if len(control) != chaosSegments {
 		t.Fatalf("control recovered %d packets, want %d: %v", len(control), chaosSegments, control)
 	}
+	// The control journal is a single clean session: establish, nothing else.
+	if evs := j0.Recent(); len(evs) != 1 || evs[0].Name != "gateway_session_establish" {
+		t.Fatalf("control journal = %+v, want exactly one establish", evs)
+	}
 
 	// Chaos: six consecutive connections die mid-frame (one corrupted
 	// first), starting past the hello so every session establishes.
@@ -121,7 +131,8 @@ func TestChaosSoak(t *testing.T) {
 	if sched.Faulty() != 6 {
 		t.Fatalf("schedule kills %d connections, want 6", sched.Faulty())
 	}
-	g1, svc1, rep1 := chaosRun(t, &sched, 4)
+	j1 := obs.NewJournal(obs.DefaultJournalRing)
+	g1, svc1, rep1 := chaosRun(t, &sched, 4, j1)
 
 	if got, want := counter(t, g1, "gateway_reconnects_total"), uint64(sched.Faulty()); got != want {
 		t.Fatalf("chaos reconnects = %d, want %d (one per scheduled kill)", got, want)
@@ -155,4 +166,140 @@ func TestChaosSoak(t *testing.T) {
 	if st := g1.Stats(); st.SegmentsShipped != chaosSegments {
 		t.Fatalf("chaos shipped = %d, want %d", st.SegmentsShipped, chaosSegments)
 	}
+
+	// The event journal is fully deterministic for this schedule: the first
+	// session establishes, each of the six kills appends die+backoff+establish
+	// (RunResilient's single control flow orders them strictly), and the
+	// clean seventh session ends the run without dying. Assert the exact
+	// sequence as served by /events/recent — the same bytes an operator or
+	// the fault dump would see.
+	events := fetchEvents(t, j1)
+	want := []string{"gateway_session_establish"}
+	for i := 0; i < sched.Faulty(); i++ {
+		want = append(want, "gateway_session_die", "gateway_redial_backoff", "gateway_session_establish")
+	}
+	if len(events) != len(want) {
+		t.Fatalf("/events/recent returned %d events, want %d:\n%+v", len(events), len(want), events)
+	}
+	for i, e := range events {
+		if e.Name != want[i] {
+			t.Fatalf("event %d = %q, want %q (full: %+v)", i, e.Name, want[i], events)
+		}
+		if e.Count != 1 {
+			t.Fatalf("event %d (%s) coalesced count = %d, want 1", i, e.Name, e.Count)
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, i)
+		}
+	}
+}
+
+// fetchEvents serves j on a real obs endpoint and fetches /events/recent,
+// so the assertion covers the HTTP surface, not just the in-process ring.
+func fetchEvents(t *testing.T, j *obs.Journal) []obs.Event {
+	t.Helper()
+	srv := &obs.Server{Journal: j}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("obs server close: %v", err)
+		}
+	}()
+	resp, err := http.Get("http://" + srv.Addr().String() + "/events/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/events/recent status = %d", resp.StatusCode)
+	}
+	var events []obs.Event
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestHealthzFlipsAcrossOutage drives /healthz through an induced backhaul
+// outage: while every dial fails the gateway_backhaul_connected check
+// reports unhealthy (503), and once the outage lifts and the session
+// re-establishes the endpoint recovers to 200.
+func TestHealthzFlipsAcrossOutage(t *testing.T) {
+	ts := resTechs()
+	h := obs.NewHealth()
+	g, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4, Health: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := cloud.NewService(ts)
+	svc.StartFarm(farm.Config{Workers: 1, QueueDepth: 8})
+	defer svc.Close()
+
+	srv := &obs.Server{Health: h}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("obs server close: %v", err)
+		}
+	}()
+	healthz := "http://" + srv.Addr().String() + "/healthz"
+
+	var outage atomic.Bool
+	outage.Store(true)
+	dial := func() (io.ReadWriteCloser, error) {
+		if outage.Load() {
+			return nil, fmt.Errorf("induced outage")
+		}
+		a, b := net.Pipe()
+		go func() {
+			//lint:ignore errdrop the session ends when the test closes captures; its error is not the contract here
+			_ = svc.ServeConn(b)
+		}()
+		return a, nil
+	}
+
+	captures := make(chan []complex128)
+	done := make(chan error, 1)
+	go func() {
+		done <- g.RunResilient(Resilient{
+			Dial: dial,
+			// A deep consecutive-attempt budget: the outage must outlast
+			// however long the status poll below takes, never the budget.
+			Retry: resilience.RetryPolicy{MaxAttempts: 1 << 20, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1},
+			Epoch: 9,
+		}, captures, nil)
+	}()
+
+	// Poll until the registered check reports the outage...
+	waitStatus(t, healthz, http.StatusServiceUnavailable)
+	// ...lift it, and the next successful hello must flip the check back.
+	outage.Store(false)
+	waitStatus(t, healthz, http.StatusOK)
+
+	close(captures)
+	if err := <-done; err != nil {
+		t.Fatalf("RunResilient: %v", err)
+	}
+}
+
+// waitStatus polls url until it answers with the wanted status code.
+func waitStatus(t *testing.T, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never reached status %d", url, want)
 }

@@ -47,6 +47,14 @@ type Config struct {
 	// wait, encode+ship stages). Nil disables tracing at the cost of one
 	// branch per stage.
 	Tracer *obs.Tracer
+	// Journal records resilience state transitions (session establish/die,
+	// redial backoff, degraded-mode enter/exit, busy-reject bursts) for
+	// /events/recent and fault dumps. Nil disables event recording.
+	Journal *obs.Journal
+	// Health receives the gateway's health checks when RunResilient starts:
+	// gateway_backhaul_connected (liveness) and gateway_spool_headroom
+	// (readiness). Nil skips registration.
+	Health *obs.Health
 }
 
 // Stats counts what a gateway did. It is assembled on demand from the

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backhaul"
@@ -154,6 +155,20 @@ type resilientRun struct {
 	drained  bool      // spool closed and fully consumed
 	sessions int       // established sessions so far
 	backoff  *resilience.Backoff
+	// degraded marks an active degraded-mode episode (spool overflow is
+	// dropping segments to edge-only decode). The feeder enters it and the
+	// session goroutine exits it, hence the CAS discipline: each transition
+	// is journaled exactly once no matter how the two goroutines interleave.
+	degraded atomic.Bool
+}
+
+// degradeItem routes one segment through the degraded edge-only path and
+// journals the enter edge of the episode.
+func (r *resilientRun) degradeItem(it resilience.Item) {
+	if r.degraded.CompareAndSwap(false, true) {
+		r.g.cfg.Journal.Record("gateway_degraded_enter", int64(r.spool.Len()))
+	}
+	r.g.degrade(r.rm, it, r.reports)
 }
 
 // RunResilient is Run behind a reconnecting backhaul client. Captures are
@@ -214,6 +229,25 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 			Epoch:      rc.Epoch,
 		},
 	}
+	if h := g.cfg.Health; h != nil {
+		// Liveness follows the session state: a gateway mid-redial is
+		// unhealthy until the next hello completes.
+		h.Register("gateway_backhaul_connected", func() obs.CheckResult {
+			if rm.connected.Value() == 1 {
+				return obs.Healthy("session established")
+			}
+			return obs.Unhealthy("no backhaul session")
+		})
+		// Saturation is a readiness problem, not a liveness one: the
+		// gateway is alive and degrading gracefully, but new load drops.
+		h.RegisterReadiness("gateway_spool_headroom", func() obs.CheckResult {
+			depth := r.spool.Len()
+			if depth >= rc.SpoolCapacity {
+				return obs.Unhealthy(fmt.Sprintf("spool saturated at %d/%d", depth, rc.SpoolCapacity))
+			}
+			return obs.Healthy(fmt.Sprintf("%d/%d spooled", depth, rc.SpoolCapacity))
+		})
+	}
 
 	// Feeder: keep detecting no matter what the backhaul is doing. Spool
 	// overflow routes the evicted (oldest) segment through degrade.
@@ -229,7 +263,7 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 					sp = res.Spans[i]
 				}
 				if ev, dropped := r.spool.Put(resilience.Item{Seg: seg, Span: sp}); dropped {
-					g.degrade(rm, ev, reports)
+					r.degradeItem(ev)
 				}
 				rm.spoolDepth.Set(int64(r.spool.Len()))
 			}
@@ -273,11 +307,11 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 			// through the degraded path so it is accounted as dropped, then
 			// surface the failure.
 			for it := range r.spool.C() {
-				g.degrade(rm, it, reports)
+				r.degradeItem(it)
 			}
 			rm.spoolDepth.Set(0)
 			for _, c := range r.pending {
-				g.degrade(rm, c.it, reports)
+				r.degradeItem(c.it)
 			}
 			r.pending = nil
 			return r.backoff.Err(lastErr)
@@ -285,6 +319,7 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 		// Surface the wait on /metrics while it is happening: an operator
 		// watching a flapping gateway sees the current backoff delay, not
 		// just a reconnect counter after the fact.
+		g.cfg.Journal.Record("gateway_redial_backoff", d.Milliseconds())
 		rm.backoffMillis.Set(d.Milliseconds())
 		time.Sleep(d)
 		rm.backoffMillis.Set(0)
@@ -323,6 +358,12 @@ func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error
 	// accounting restarts here, and anything after the first session is by
 	// definition a reconnect.
 	sp.Stage("established", 0, float64(window))
+	g.cfg.Journal.Record("gateway_session_establish", int64(window))
+	// A fresh session ends any degraded episode: the backhaul is carrying
+	// segments again.
+	if r.degraded.CompareAndSwap(true, false) {
+		g.cfg.Journal.Record("gateway_degraded_exit", int64(r.spool.Len()))
+	}
 	r.rm.connected.Set(1)
 	defer r.rm.connected.Set(0)
 	if r.sessions > 0 {
@@ -389,6 +430,7 @@ func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error
 		inflight = append(inflight[:idx], inflight[idx+1:]...)
 		if a.busy {
 			g.m.busyRejects.Inc()
+			g.cfg.Journal.Record("gateway_busy_reject", int64(a.seq))
 			return
 		}
 		if r.reports != nil {
@@ -420,6 +462,7 @@ func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error
 						left = append(left, r.pending...)
 						r.pending = left
 						sp.Stage("died", 0, float64(len(left)))
+						g.cfg.Journal.Record("gateway_session_die", int64(len(left)))
 						return false, e
 					}
 				}

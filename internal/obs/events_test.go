@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestValidEventName(t *testing.T) {
+	t.Parallel()
+	valid := []string{
+		"gateway_session_establish",
+		"gateway_session_die",
+		"gateway_redial_backoff",
+		"gateway_degraded_enter",
+		"gateway_degraded_exit",
+		"cloud_session_reap",
+		"fleet_shard_attach",
+		"gateway_busy_reject",
+	}
+	for _, name := range valid {
+		if !ValidEventName(name) {
+			t.Errorf("ValidEventName(%q) = false, want true", name)
+		}
+	}
+	invalid := []string{
+		"",
+		"establish",                   // one segment
+		"gateway_session_up",          // verb not in vocabulary
+		"Gateway_Session_Establish",   // case
+		"gateway__establish",          // empty segment
+		"1gateway_establish",          // leading digit
+		"gateway_segments_total",      // metric name, not an event
+		"gateway_session_establish_x", // trailing non-verb
+	}
+	for _, name := range invalid {
+		if ValidEventName(name) {
+			t.Errorf("ValidEventName(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestJournalRecordPanicsOnBadName(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Record with a bad name did not panic")
+		}
+	}()
+	NewJournal(4).Record("NotAnEvent", 0)
+}
+
+func TestJournalRecordsOrderedEvents(t *testing.T) {
+	t.Parallel()
+	j := NewJournal(8)
+	j.Record("gateway_session_establish", 1)
+	j.Record("gateway_session_die", 2)
+	j.Record("gateway_redial_backoff", 30)
+	j.Record("gateway_session_establish", 2)
+
+	events := j.Recent()
+	wantNames := []string{
+		"gateway_session_establish",
+		"gateway_session_die",
+		"gateway_redial_backoff",
+		"gateway_session_establish",
+	}
+	if len(events) != len(wantNames) {
+		t.Fatalf("Recent returned %d events, want %d: %+v", len(events), len(wantNames), events)
+	}
+	for i, e := range events {
+		if e.Name != wantNames[i] {
+			t.Errorf("event %d name = %q, want %q", i, e.Name, wantNames[i])
+		}
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i)
+		}
+		if e.Count != 1 {
+			t.Errorf("event %d count = %d, want 1", i, e.Count)
+		}
+		// The deterministic step clock advances by one per record.
+		if e.At != int64(i)+1 {
+			t.Errorf("event %d at = %d, want %d", i, e.At, i+1)
+		}
+	}
+}
+
+func TestJournalCoalescesConsecutiveBursts(t *testing.T) {
+	t.Parallel()
+	j := NewJournal(8)
+	j.Record("gateway_session_establish", 1)
+	for i := 0; i < 100; i++ {
+		j.Record("gateway_busy_reject", int64(i))
+	}
+	j.Record("gateway_session_die", 0)
+
+	events := j.Recent()
+	if len(events) != 3 {
+		t.Fatalf("Recent returned %d events, want 3 (burst must coalesce): %+v", len(events), events)
+	}
+	burst := events[1]
+	if burst.Name != "gateway_busy_reject" {
+		t.Fatalf("middle event = %q, want gateway_busy_reject", burst.Name)
+	}
+	if burst.Count != 100 {
+		t.Errorf("burst count = %d, want 100", burst.Count)
+	}
+	if burst.Value != 99 {
+		t.Errorf("burst value = %d, want 99 (last recorded wins)", burst.Value)
+	}
+	// A burst consumes one sequence number: the event after it is seq 2.
+	if events[2].Seq != 2 {
+		t.Errorf("post-burst seq = %d, want 2", events[2].Seq)
+	}
+}
+
+func TestJournalRingOverwritesOldest(t *testing.T) {
+	t.Parallel()
+	j := NewJournal(4)
+	names := []string{
+		"gateway_session_establish",
+		"gateway_session_die",
+		"gateway_redial_backoff",
+		"gateway_degraded_enter",
+		"gateway_degraded_exit",
+		"cloud_session_reap",
+	}
+	for i, n := range names {
+		j.Record(n, int64(i))
+	}
+	events := j.Recent()
+	if len(events) != 4 {
+		t.Fatalf("Recent returned %d events, want ring size 4", len(events))
+	}
+	for i, e := range events {
+		want := names[len(names)-4+i]
+		if e.Name != want {
+			t.Errorf("event %d = %q, want %q (oldest-first after wrap)", i, e.Name, want)
+		}
+	}
+	// Seq numbers reveal the overwrite: the oldest surviving entry is seq 2.
+	if events[0].Seq != 2 {
+		t.Errorf("oldest surviving seq = %d, want 2", events[0].Seq)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	t.Parallel()
+	var j *Journal
+	j.Record("gateway_session_establish", 1)
+	j.SetClock(func() int64 { return 7 })
+	if got := j.Recent(); got != nil {
+		t.Errorf("nil journal Recent = %v, want nil", got)
+	}
+	if got := j.Names(); got != nil {
+		t.Errorf("nil journal Names = %v, want nil", got)
+	}
+}
+
+func TestJournalNames(t *testing.T) {
+	t.Parallel()
+	j := NewJournal(16)
+	j.Record("gateway_session_establish", 0)
+	j.Record("gateway_session_die", 0)
+	j.Record("gateway_session_establish", 0)
+	got := j.Names()
+	want := []string{"gateway_session_establish", "gateway_session_die"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	t.Parallel()
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Record("gateway_busy_reject", int64(g))
+				if i%50 == 0 {
+					j.Recent()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, e := range j.Recent() {
+		if e.Name != "gateway_busy_reject" {
+			t.Fatalf("unexpected event %q", e.Name)
+		}
+		total += e.Count
+	}
+	// Everything coalesces into entries that never wrap (single name), so
+	// no record is lost.
+	if total != 8*200 {
+		t.Fatalf("coalesced count sum = %d, want %d", total, 8*200)
+	}
+}
+
+func TestJournalRecentIsACopy(t *testing.T) {
+	t.Parallel()
+	j := NewJournal(4)
+	j.Record("gateway_session_establish", 1)
+	got := j.Recent()
+	got[0].Name = "mutated"
+	if j.Recent()[0].Name != "gateway_session_establish" {
+		t.Fatal("Recent exposed the journal's internal ring")
+	}
+}
+
+func ExampleJournal() {
+	j := NewJournal(8)
+	j.Record("gateway_session_establish", 1)
+	j.Record("gateway_busy_reject", 1)
+	j.Record("gateway_busy_reject", 2)
+	for _, e := range j.Recent() {
+		fmt.Printf("%s count=%d value=%d\n", e.Name, e.Count, e.Value)
+	}
+	// Output:
+	// gateway_session_establish count=1 value=1
+	// gateway_busy_reject count=2 value=2
+}

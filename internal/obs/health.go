@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync"
+)
+
+// HealthSuffixes is the closed final-segment vocabulary of a health-check
+// name. A check asserts a condition, so the final segment names what is
+// being asserted. Keep in sync with the obsnames lint rule's documentation
+// and DESIGN.md §14.
+var HealthSuffixes = []string{
+	"connected", // a link is up (backhaul connected)
+	"headroom",  // a bounded resource has spare capacity (queue, spool)
+	"liveness",  // a component is alive and accepting work
+	"ready",     // a component is ready to take traffic
+}
+
+// ValidHealthName reports whether name follows the
+// subsystem_subject_condition scheme: lowercase snake_case, at least two
+// segments, final segment one of HealthSuffixes.
+func ValidHealthName(name string) bool {
+	last, segments, ok := splitLastSegment(name)
+	if !ok || segments < 2 {
+		return false
+	}
+	for _, s := range HealthSuffixes {
+		if last == s {
+			return true
+		}
+	}
+	return false
+}
+
+// mustValidHealthName guards Register against dynamic names the obsnames
+// lint rule cannot see, mirroring the metric registry's panic contract.
+func mustValidHealthName(name string) {
+	if !ValidHealthName(name) {
+		panic("obs: health check name " + name + " does not follow subsystem_subject_condition (lowercase snake_case, >=2 segments, condition in HealthSuffixes)")
+	}
+}
+
+// CheckResult is one health check's verdict.
+type CheckResult struct {
+	Healthy bool   `json:"healthy"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// CheckFunc evaluates one health check. It is called on every /healthz
+// or /readyz request (and by Health.Liveness/Readiness), so it must be
+// cheap and safe for concurrent use — typically a couple of atomic gauge
+// reads.
+type CheckFunc func() CheckResult
+
+// Healthy is a CheckResult constructor for the passing case.
+func Healthy(detail string) CheckResult { return CheckResult{Healthy: true, Detail: detail} }
+
+// Unhealthy is a CheckResult constructor for the failing case.
+func Unhealthy(detail string) CheckResult { return CheckResult{Healthy: false, Detail: detail} }
+
+// registeredCheck pairs a check with its class.
+type registeredCheck struct {
+	fn        CheckFunc
+	readiness bool // readiness-only: consulted by /readyz, not /healthz
+}
+
+// Health is a component-health registry: subsystems register named checks
+// (degraded states become a machine-readable signal instead of a buried
+// counter), and the obs Server serves the aggregate at /healthz and
+// /readyz. Liveness checks (Register) answer "is this process healthy";
+// readiness-only checks (RegisterReadiness) additionally gate "should
+// traffic be routed here" without marking the process sick — a saturated
+// admission queue is unready, not dead.
+//
+// Registering under an existing name replaces the previous check, so a
+// reconnecting client that re-registers on every run converges on one
+// entry. All methods are nil-safe.
+type Health struct {
+	mu     sync.Mutex
+	names  []string // registration order, stable across snapshots
+	checks map[string]registeredCheck
+}
+
+// NewHealth builds an empty health registry.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]registeredCheck)}
+}
+
+// Register adds (or replaces) a liveness check: it is consulted by both
+// /healthz and /readyz. The name must follow the
+// subsystem_subject_condition scheme (see ValidHealthName).
+func (h *Health) Register(name string, fn CheckFunc) {
+	h.register(name, fn, false)
+}
+
+// RegisterReadiness adds (or replaces) a readiness-only check: consulted
+// by /readyz but not /healthz.
+func (h *Health) RegisterReadiness(name string, fn CheckFunc) {
+	h.register(name, fn, true)
+}
+
+func (h *Health) register(name string, fn CheckFunc, readiness bool) {
+	if h == nil || fn == nil {
+		return
+	}
+	mustValidHealthName(name)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.checks[name]; !ok {
+		h.names = append(h.names, name)
+	}
+	h.checks[name] = registeredCheck{fn: fn, readiness: readiness}
+}
+
+// CheckStatus is one evaluated check in a snapshot.
+type CheckStatus struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// HealthSnapshot is the aggregate verdict of one evaluation pass.
+type HealthSnapshot struct {
+	// Healthy is the conjunction of every evaluated check.
+	Healthy bool `json:"healthy"`
+	// Checks lists each evaluated check in registration order.
+	Checks []CheckStatus `json:"checks"`
+}
+
+// Liveness evaluates the liveness checks (/healthz). A registry with no
+// checks — or a nil registry — is vacuously healthy.
+func (h *Health) Liveness() HealthSnapshot { return h.eval(false) }
+
+// Readiness evaluates every check, liveness and readiness alike
+// (/readyz): a process that is not healthy is also not ready.
+func (h *Health) Readiness() HealthSnapshot { return h.eval(true) }
+
+func (h *Health) eval(includeReadiness bool) HealthSnapshot {
+	snap := HealthSnapshot{Healthy: true}
+	if h == nil {
+		return snap
+	}
+	// Copy the check set out so evaluation runs without the lock: checks
+	// are cheap but arbitrary code, and a slow one must not block
+	// registration.
+	h.mu.Lock()
+	type namedCheck struct {
+		name string
+		c    registeredCheck
+	}
+	checks := make([]namedCheck, 0, len(h.names))
+	for _, name := range h.names {
+		checks = append(checks, namedCheck{name, h.checks[name]})
+	}
+	h.mu.Unlock()
+	for _, nc := range checks {
+		if nc.c.readiness && !includeReadiness {
+			continue
+		}
+		res := nc.c.fn()
+		snap.Checks = append(snap.Checks, CheckStatus{Name: nc.name, Healthy: res.Healthy, Detail: res.Detail})
+		if !res.Healthy {
+			snap.Healthy = false
+		}
+	}
+	return snap
+}

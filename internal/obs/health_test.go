@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestValidHealthName(t *testing.T) {
+	t.Parallel()
+	valid := []string{
+		"gateway_backhaul_connected",
+		"gateway_spool_headroom",
+		"cloud_farm_headroom",
+		"fleet_shard0_liveness",
+		"cloud_listener_ready",
+	}
+	for _, name := range valid {
+		if !ValidHealthName(name) {
+			t.Errorf("ValidHealthName(%q) = false, want true", name)
+		}
+	}
+	invalid := []string{
+		"",
+		"connected",           // one segment
+		"gateway_backhaul_ok", // condition not in vocabulary
+		"Gateway_Backhaul_Connected",
+		"gateway__connected",
+		"gateway_spool_depth_count", // metric name, not a check
+	}
+	for _, name := range invalid {
+		if ValidHealthName(name) {
+			t.Errorf("ValidHealthName(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestHealthRegisterPanicsOnBadName(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with a bad name did not panic")
+		}
+	}()
+	NewHealth().Register("NotACheck", func() CheckResult { return Healthy("") })
+}
+
+func TestHealthLivenessAndReadiness(t *testing.T) {
+	t.Parallel()
+	h := NewHealth()
+	var connected, saturated atomic.Bool
+	connected.Store(true)
+	h.Register("gateway_backhaul_connected", func() CheckResult {
+		if connected.Load() {
+			return Healthy("session up")
+		}
+		return Unhealthy("redialing")
+	})
+	h.RegisterReadiness("cloud_farm_headroom", func() CheckResult {
+		if saturated.Load() {
+			return Unhealthy("queue full")
+		}
+		return Healthy("")
+	})
+
+	live := h.Liveness()
+	if !live.Healthy || len(live.Checks) != 1 {
+		t.Fatalf("liveness = %+v, want healthy with 1 check (readiness excluded)", live)
+	}
+	ready := h.Readiness()
+	if !ready.Healthy || len(ready.Checks) != 2 {
+		t.Fatalf("readiness = %+v, want healthy with 2 checks", ready)
+	}
+
+	// Saturation flips readiness but not liveness.
+	saturated.Store(true)
+	if h.Liveness().Healthy != true {
+		t.Fatal("saturation must not flip liveness")
+	}
+	if h.Readiness().Healthy != false {
+		t.Fatal("saturation must flip readiness")
+	}
+
+	// A dead backhaul flips both.
+	connected.Store(false)
+	if h.Liveness().Healthy {
+		t.Fatal("disconnect must flip liveness")
+	}
+	if h.Readiness().Healthy {
+		t.Fatal("disconnect must flip readiness")
+	}
+	live = h.Liveness()
+	if live.Checks[0].Detail != "redialing" {
+		t.Fatalf("check detail = %q, want redialing", live.Checks[0].Detail)
+	}
+}
+
+func TestHealthReRegisterReplaces(t *testing.T) {
+	t.Parallel()
+	h := NewHealth()
+	h.Register("gateway_backhaul_connected", func() CheckResult { return Unhealthy("old") })
+	h.Register("gateway_backhaul_connected", func() CheckResult { return Healthy("new") })
+	snap := h.Liveness()
+	if len(snap.Checks) != 1 {
+		t.Fatalf("re-registration duplicated the check: %+v", snap)
+	}
+	if !snap.Healthy || snap.Checks[0].Detail != "new" {
+		t.Fatalf("re-registration did not replace the check: %+v", snap)
+	}
+}
+
+func TestHealthCheckOrderStable(t *testing.T) {
+	t.Parallel()
+	h := NewHealth()
+	names := []string{
+		"gateway_backhaul_connected",
+		"gateway_spool_headroom",
+		"cloud_farm_headroom",
+	}
+	for _, n := range names {
+		h.Register(n, func() CheckResult { return Healthy("") })
+	}
+	for pass := 0; pass < 3; pass++ {
+		snap := h.Liveness()
+		for i, c := range snap.Checks {
+			if c.Name != names[i] {
+				t.Fatalf("pass %d: check %d = %q, want %q (registration order)", pass, i, c.Name, names[i])
+			}
+		}
+	}
+}
+
+func TestHealthNilSafe(t *testing.T) {
+	t.Parallel()
+	var h *Health
+	h.Register("gateway_backhaul_connected", func() CheckResult { return Healthy("") })
+	if snap := h.Liveness(); !snap.Healthy {
+		t.Fatal("nil health must be vacuously healthy")
+	}
+	if snap := h.Readiness(); !snap.Healthy {
+		t.Fatal("nil health must be vacuously ready")
+	}
+}

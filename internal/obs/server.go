@@ -10,10 +10,14 @@ import (
 )
 
 // Server is the live-introspection HTTP endpoint mounted behind the
-// -obs-addr flag of galiot-gateway and galiot-cloud:
+// -obs-addr flag of the serving commands:
 //
 //	GET /metrics       registry snapshot as one JSON object
 //	GET /trace/recent  ring of recent segment traces (spans grouped by ID)
+//	GET /events/recent event-journal ring (state transitions, oldest first)
+//	GET /healthz       liveness checks; 503 when any fails
+//	GET /readyz        liveness + readiness checks; 503 when any fails
+//	GET /fleet/metrics fleet rollup across the configured scrape targets
 //	GET /debug/pprof/  standard pprof handlers (explicitly wired to the
 //	                   server's own mux, not http.DefaultServeMux)
 //
@@ -24,6 +28,12 @@ type Server struct {
 	Registry *Registry
 	// Tracer backs /trace/recent; nil serves an empty list.
 	Tracer *Tracer
+	// Journal backs /events/recent; nil serves an empty list.
+	Journal *Journal
+	// Health backs /healthz and /readyz; nil reports vacuously healthy.
+	Health *Health
+	// Fleet backs /fleet/metrics; nil serves an empty rollup.
+	Fleet *Fleet
 
 	wg       sync.WaitGroup
 	ln       net.Listener
@@ -40,6 +50,10 @@ func (s *Server) Start(addr string) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace/recent", s.handleTraces)
+	mux.HandleFunc("/events/recent", s.handleEvents)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/fleet/metrics", s.handleFleet)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -110,4 +124,43 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 		traces = []TraceSnapshot{}
 	}
 	writeJSON(w, traces)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	events := s.Journal.Recent()
+	if events == nil {
+		events = []Event{}
+	}
+	writeJSON(w, events)
+}
+
+// writeHealth serves one health snapshot: the JSON body always carries
+// the full per-check breakdown, and the status code makes the verdict
+// consumable by probes that only look at HTTP status.
+func writeHealth(w http.ResponseWriter, snap HealthSnapshot) {
+	if snap.Checks == nil {
+		snap.Checks = []CheckStatus{}
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !snap.Healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_, _ = w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeHealth(w, s.Health.Liveness())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	writeHealth(w, s.Health.Readiness())
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Fleet.Collect())
 }

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,28 +8,6 @@ import (
 	"testing"
 	"time"
 )
-
-func getJSON(t *testing.T, url string, into any) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatalf("GET %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
-		t.Fatalf("GET %s: content type %q", url, ct)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatalf("read body: %v", err)
-	}
-	if err := json.Unmarshal(body, into); err != nil {
-		t.Fatalf("unmarshal %s: %v\n%s", url, err, body)
-	}
-}
 
 // TestServerEndpoints starts a server on a free port, exercises every
 // endpoint, and shuts it down. The goroutine accounting at the end is the
@@ -55,7 +32,7 @@ func TestServerEndpoints(t *testing.T) {
 	base := fmt.Sprintf("http://%s", s.Addr())
 
 	var snap Snapshot
-	getJSON(t, base+"/metrics", &snap)
+	getJSON(t, base+"/metrics", http.StatusOK, &snap)
 	if snap.Counters["gateway_segments_shipped_total"] != 7 {
 		t.Fatalf("metrics counters = %v", snap.Counters)
 	}
@@ -67,7 +44,7 @@ func TestServerEndpoints(t *testing.T) {
 	}
 
 	var traces []TraceSnapshot
-	getJSON(t, base+"/trace/recent", &traces)
+	getJSON(t, base+"/trace/recent", http.StatusOK, &traces)
 	if len(traces) != 1 || len(traces[0].Spans) != 1 || traces[0].Spans[0].Kind != "gateway-segment" {
 		t.Fatalf("traces = %+v", traces)
 	}
@@ -112,9 +89,9 @@ func TestServerEmptyBackends(t *testing.T) {
 	}()
 	base := fmt.Sprintf("http://%s", s.Addr())
 	var snap Snapshot
-	getJSON(t, base+"/metrics", &snap)
+	getJSON(t, base+"/metrics", http.StatusOK, &snap)
 	var traces []TraceSnapshot
-	getJSON(t, base+"/trace/recent", &traces)
+	getJSON(t, base+"/trace/recent", http.StatusOK, &traces)
 	if len(traces) != 0 {
 		t.Fatalf("traces = %v", traces)
 	}

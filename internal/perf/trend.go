@@ -1,0 +1,203 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Trend is a benchstat-style view across an ordered series of reports
+// (oldest first): one row per stage metric, one value column per run, and
+// an oldest→newest delta. Where Compare answers "did this run regress
+// against that one", Trend answers "which way has this stage been moving"
+// over a shelf of BENCH.json artifacts. Reports deliberately carry no
+// timestamp (see Report), so the caller's argument order is the timeline.
+//
+// Trend is a presentation structure, not part of the report schema:
+// missing readings are NaN, which has no JSON encoding.
+type Trend struct {
+	// Labels name the runs in column order; callers usually pass the
+	// report file names.
+	Labels []string
+	Rows   []TrendRow
+	// EnvMismatch notes that not every report came from the same
+	// GOOS/GOARCH/CPU-count environment; deltas are still computed,
+	// trust accordingly.
+	EnvMismatch string
+}
+
+// TrendRow is one stage metric across every run.
+type TrendRow struct {
+	Stage  string
+	Metric string
+	Hot    bool
+	// Values holds one reading per run, report order. NaN marks a run
+	// that lacks the stage (or did not measure allocs); it renders "-".
+	Values []float64
+	// Ratio is newest/oldest over the runs that have a reading (lower is
+	// better, same convention as Delta.Ratio). 0 when fewer than two runs
+	// have one, the oldest reading is zero, or the workload identity
+	// drifted across the series.
+	Ratio float64
+	Note  string
+}
+
+// TrendOf builds the trend table from reports ordered oldest→newest, one
+// label per report. At least two reports are required, and all must share
+// a schema version.
+func TrendOf(labels []string, reports []*Report) (*Trend, error) {
+	if len(labels) != len(reports) {
+		return nil, fmt.Errorf("perf: %d labels for %d reports", len(labels), len(reports))
+	}
+	if len(reports) < 2 {
+		return nil, fmt.Errorf("perf: a trend needs at least two reports, got %d", len(reports))
+	}
+	for i, r := range reports[1:] {
+		if r.SchemaVersion != reports[0].SchemaVersion {
+			return nil, fmt.Errorf("perf: schema mismatch: %s v%d vs %s v%d",
+				labels[0], reports[0].SchemaVersion, labels[i+1], r.SchemaVersion)
+		}
+	}
+
+	t := &Trend{Labels: labels}
+	for i, r := range reports[1:] {
+		if r.Env != reports[0].Env {
+			t.EnvMismatch = fmt.Sprintf("%s ran on %s/%s %dcpu go %s, %s on %s/%s %dcpu go %s",
+				labels[0], reports[0].Env.GOOS, reports[0].Env.GOARCH, reports[0].Env.NumCPU, reports[0].Env.GoVersion,
+				labels[i+1], r.Env.GOOS, r.Env.GOARCH, r.Env.NumCPU, r.Env.GoVersion)
+			break
+		}
+	}
+
+	// Stage order is first appearance across the series, so a stage added
+	// mid-shelf lands after the long-lived ones rather than reshuffling
+	// the table.
+	var order []string
+	byStage := map[string]map[int]*StageResult{}
+	for run, r := range reports {
+		for i := range r.Stages {
+			s := &r.Stages[i]
+			m, ok := byStage[s.Name]
+			if !ok {
+				m = map[int]*StageResult{}
+				byStage[s.Name] = m
+				order = append(order, s.Name)
+			}
+			m[run] = s
+		}
+	}
+
+	for _, name := range order {
+		runs := byStage[name]
+		t.Rows = append(t.Rows, trendRow(name, "ns_per_sample", runs, len(reports),
+			func(s *StageResult) float64 {
+				if s.NsPerSample <= 0 {
+					return math.NaN()
+				}
+				return s.NsPerSample
+			}))
+		measured := false
+		for _, s := range runs {
+			if s.AllocsPerOp >= 0 {
+				measured = true
+				break
+			}
+		}
+		if measured {
+			t.Rows = append(t.Rows, trendRow(name, "allocs_per_op", runs, len(reports),
+				func(s *StageResult) float64 {
+					if s.AllocsPerOp < 0 {
+						return math.NaN()
+					}
+					return s.AllocsPerOp
+				}))
+		}
+	}
+	return t, nil
+}
+
+// trendRow assembles one stage metric's row: per-run readings, the
+// newest/oldest ratio, and the identity gate Compare applies pairwise,
+// extended across the whole series.
+func trendRow(stage, metric string, runs map[int]*StageResult, n int, read func(*StageResult) float64) TrendRow {
+	row := TrendRow{Stage: stage, Metric: metric, Values: make([]float64, n)}
+	for i := range row.Values {
+		row.Values[i] = math.NaN()
+	}
+	var first *StageResult
+	drift := false
+	for i := 0; i < n; i++ {
+		s, ok := runs[i]
+		if !ok {
+			continue
+		}
+		row.Hot = s.Hot
+		if first == nil {
+			first = s
+		} else if s.Iters != first.Iters || s.SamplesPerIter != first.SamplesPerIter {
+			drift = true
+		}
+		row.Values[i] = read(s)
+	}
+	if drift {
+		row.Note = "workload identity drifts across runs; no delta"
+		return row
+	}
+	oldest, newest := math.NaN(), math.NaN()
+	for _, v := range row.Values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(oldest) {
+			oldest = v
+		}
+		newest = v
+	}
+	// A flat series divides to exactly 1: IEEE x/x is exact for finite
+	// nonzero x, so no equality special case is needed.
+	if oldest > 0 && !math.IsNaN(newest) {
+		row.Ratio = newest / oldest
+	}
+	return row
+}
+
+// Render formats the trend as an aligned table, one column per run,
+// oldest on the left, plus the oldest→newest delta.
+func (t *Trend) Render() string {
+	var sb strings.Builder
+	if t.EnvMismatch != "" {
+		fmt.Fprintf(&sb, "WARNING: environment mismatch (%s)\n", t.EnvMismatch)
+	}
+	widths := make([]int, len(t.Labels))
+	for i, l := range t.Labels {
+		widths[i] = len(l)
+		if widths[i] < 12 {
+			widths[i] = 12
+		}
+	}
+	fmt.Fprintf(&sb, "%-18s %-14s", "STAGE", "METRIC")
+	for i, l := range t.Labels {
+		fmt.Fprintf(&sb, " %*s", widths[i], l)
+	}
+	fmt.Fprintf(&sb, " %9s\n", "DELTA")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-18s %-14s", r.Stage, r.Metric)
+		for i, v := range r.Values {
+			cell := "-"
+			if !math.IsNaN(v) {
+				cell = fmt.Sprintf("%.2f", v)
+			}
+			fmt.Fprintf(&sb, " %*s", widths[i], cell)
+		}
+		delta := "-"
+		if r.Ratio > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (r.Ratio-1)*100)
+		}
+		fmt.Fprintf(&sb, " %9s", delta)
+		if r.Note != "" {
+			fmt.Fprintf(&sb, "  %s", r.Note)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func trendReport(stages ...StageResult) *Report {
+	return &Report{SchemaVersion: SchemaVersion, Stages: stages}
+}
+
+// TestTrendDeltas covers the core table: per-run readings in argument
+// order, newest/oldest deltas on both metrics, a stage that joins the
+// series mid-shelf, and the allocs row only appearing when some run
+// measured it.
+func TestTrendDeltas(t *testing.T) {
+	r1 := trendReport(
+		StageResult{Name: "detect_stream", Hot: true, Iters: 4, SamplesPerIter: 1024, NsPerSample: 20, AllocsPerOp: -1},
+		StageResult{Name: "edge_decode", Iters: 2, SamplesPerIter: 512, NsPerSample: 50, AllocsPerOp: 8},
+	)
+	r2 := trendReport(
+		StageResult{Name: "detect_stream", Hot: true, Iters: 4, SamplesPerIter: 1024, NsPerSample: 15, AllocsPerOp: -1},
+		StageResult{Name: "edge_decode", Iters: 2, SamplesPerIter: 512, NsPerSample: 45, AllocsPerOp: 8},
+		StageResult{Name: "sic_cancel", Iters: 1, SamplesPerIter: 256, NsPerSample: 100, AllocsPerOp: -1},
+	)
+	r3 := trendReport(
+		StageResult{Name: "detect_stream", Hot: true, Iters: 4, SamplesPerIter: 1024, NsPerSample: 10, AllocsPerOp: -1},
+		StageResult{Name: "edge_decode", Iters: 2, SamplesPerIter: 512, NsPerSample: 40, AllocsPerOp: 4},
+		StageResult{Name: "sic_cancel", Iters: 1, SamplesPerIter: 256, NsPerSample: 90, AllocsPerOp: -1},
+	)
+	tr, err := TrendOf([]string{"a.json", "b.json", "c.json"}, []*Report{r1, r2, r3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.EnvMismatch != "" {
+		t.Errorf("env mismatch on identical envs: %s", tr.EnvMismatch)
+	}
+
+	rows := map[string]TrendRow{}
+	for _, r := range tr.Rows {
+		rows[r.Stage+"/"+r.Metric] = r
+	}
+
+	d, ok := rows["detect_stream/ns_per_sample"]
+	if !ok {
+		t.Fatalf("no detect_stream ns row in %+v", tr.Rows)
+	}
+	if !d.Hot {
+		t.Error("detect_stream lost its hot mark")
+	}
+	if d.Values[0] != 20 || d.Values[1] != 15 || d.Values[2] != 10 {
+		t.Errorf("detect_stream readings = %v, want [20 15 10]", d.Values)
+	}
+	if d.Ratio != 0.5 {
+		t.Errorf("detect_stream ratio = %v, want 0.5", d.Ratio)
+	}
+	if _, ok := rows["detect_stream/allocs_per_op"]; ok {
+		t.Error("allocs row emitted for a stage no run measured")
+	}
+
+	if a := rows["edge_decode/allocs_per_op"]; a.Ratio != 0.5 {
+		t.Errorf("edge_decode allocs ratio = %v, want 0.5", a.Ratio)
+	}
+
+	s := rows["sic_cancel/ns_per_sample"]
+	if !math.IsNaN(s.Values[0]) {
+		t.Errorf("sic_cancel has a reading before it existed: %v", s.Values)
+	}
+	if s.Ratio != 90.0/100.0 {
+		t.Errorf("sic_cancel ratio = %v, want 0.9 over its present runs", s.Ratio)
+	}
+
+	out := tr.Render()
+	for _, want := range []string{"a.json", "c.json", "detect_stream", "-50.0%", "-10.0%", "allocs_per_op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trend is missing %q:\n%s", want, out)
+		}
+	}
+	// sic_cancel's pre-existence cell renders as a dash, not a zero.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "sic_cancel") {
+			continue
+		}
+		if f := strings.Fields(line); len(f) < 3 || f[2] != "-" {
+			t.Errorf("absent reading not dashed: %s", line)
+		}
+	}
+}
+
+// TestTrendIdentityDrift extends Compare's identity gate across the
+// series: once iters or samples/iter move, the delta is meaningless and
+// must be withheld.
+func TestTrendIdentityDrift(t *testing.T) {
+	r1 := trendReport(StageResult{Name: "detect_stream", Iters: 4, SamplesPerIter: 1024, NsPerSample: 20, AllocsPerOp: -1})
+	r2 := trendReport(StageResult{Name: "detect_stream", Iters: 8, SamplesPerIter: 1024, NsPerSample: 10, AllocsPerOp: -1})
+	tr, err := TrendOf([]string{"a", "b"}, []*Report{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tr.Rows[0]
+	if row.Ratio != 0 {
+		t.Errorf("drifted identity still produced a ratio: %v", row.Ratio)
+	}
+	if !strings.Contains(row.Note, "identity") {
+		t.Errorf("drift note missing: %+v", row)
+	}
+}
+
+// TestTrendStableSeries pins the ratio of a flat series to exactly 1.
+func TestTrendStableSeries(t *testing.T) {
+	mk := func() *Report {
+		return trendReport(StageResult{Name: "detect_stream", Iters: 4, SamplesPerIter: 1024, NsPerSample: 20, AllocsPerOp: -1})
+	}
+	tr, err := TrendOf([]string{"a", "b"}, []*Report{mk(), mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rows[0].Ratio != 1 {
+		t.Errorf("flat series ratio = %v, want 1", tr.Rows[0].Ratio)
+	}
+	if !strings.Contains(tr.Render(), "+0.0%") {
+		t.Errorf("flat series delta not rendered as +0.0%%:\n%s", tr.Render())
+	}
+}
+
+// TestTrendErrors rejects malformed series: one report is not a trend,
+// schema versions must agree, and labels must pair with reports.
+func TestTrendErrors(t *testing.T) {
+	one := trendReport()
+	if _, err := TrendOf([]string{"a"}, []*Report{one}); err == nil {
+		t.Error("single-report trend accepted")
+	}
+	bad := &Report{SchemaVersion: SchemaVersion + 1}
+	if _, err := TrendOf([]string{"a", "b"}, []*Report{one, bad}); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	if _, err := TrendOf([]string{"a"}, []*Report{one, one}); err == nil {
+		t.Error("label/report count mismatch accepted")
+	}
+}
+
+// TestTrendEnvMismatch flags a series whose reports came from different
+// machines without refusing to render it.
+func TestTrendEnvMismatch(t *testing.T) {
+	r1 := trendReport()
+	r2 := trendReport()
+	r2.Env.GOARCH = "arm64"
+	tr, err := TrendOf([]string{"a", "b"}, []*Report{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.EnvMismatch == "" {
+		t.Error("differing envs went unflagged")
+	}
+	if !strings.Contains(tr.Render(), "WARNING: environment mismatch") {
+		t.Error("env warning missing from render")
+	}
+}
