@@ -8,7 +8,11 @@
 // exponential backoff (-retry bounds the consecutive attempts) and the
 // unacknowledged window is replayed, while detected segments keep flowing
 // into a bounded spool (-spool). When the spool overflows during an outage
-// the oldest segments fall back to a local edge-only decode.
+// the oldest segments fall back to a local edge-only decode. With -wal-dir
+// the spool is also crash-durable: every admitted segment is journaled to a
+// write-ahead log and segments unacknowledged at the time of a kill are
+// replayed to the cloud on the next start (-wal-sync trades fsync cost
+// against the power-loss window).
 //
 // Usage (with galiot-cloud running):
 //
@@ -51,8 +55,23 @@ func run() int {
 		retry     = flag.Int("retry", 0, "max consecutive reconnect attempts before giving up (0 = default)")
 		spool     = flag.Int("spool", 0, "segment spool capacity between detection and backhaul (0 = default)")
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /trace/recent, /events/recent, /healthz, /readyz and pprof on this address (empty = off)")
+		walDir    = flag.String("wal-dir", "", "journal admitted segments to a write-ahead log in this directory and replay unacked ones on restart (empty = off)")
+		walSync   = flag.String("wal-sync", "batched", "WAL fsync policy: record (every append), batched (every few appends), off (close only)")
 	)
 	flag.Parse()
+
+	var walPolicy galiot.WALSyncPolicy
+	switch *walSync {
+	case "batched":
+		walPolicy = galiot.WALSyncBatched
+	case "record":
+		walPolicy = galiot.WALSyncRecord
+	case "off":
+		walPolicy = galiot.WALSyncOff
+	default:
+		fmt.Fprintf(os.Stderr, "galiot-gateway: -wal-sync %q: want record, batched or off\n", *walSync)
+		return 2
+	}
 
 	reg := galiot.NewObsRegistry()
 	tracer := galiot.NewObsTracer(0)
@@ -153,6 +172,8 @@ func run() int {
 			Retry:         galiot.RetryPolicy{MaxAttempts: *retry, Seed: *seed},
 			SpoolCapacity: *spool,
 			Epoch:         uint64(time.Now().UnixNano()),
+			WALDir:        *walDir,
+			WALSync:       walPolicy,
 		}, captures, reports)
 	}
 	exit := 0

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/galiot"
+)
+
+// runAsserts is -assert mode's whole lifecycle: load or scrape the rollup,
+// evaluate the gates, print one line per gate, and return the process exit
+// code (0 all pass, 1 any fail, 2 usage or scrape trouble).
+func runAsserts(client *http.Client, base, rollupPath, spec string) int {
+	asserts, err := parseAsserts(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-top:", err)
+		return 2
+	}
+	var snap *galiot.ObsFleetSnapshot
+	if rollupPath != "" {
+		snap, err = loadSnapshot(rollupPath)
+	} else {
+		snap = &galiot.ObsFleetSnapshot{}
+		err = getJSON(client, base+"/fleet/metrics", snap, http.StatusOK)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galiot-top:", err)
+		return 2
+	}
+	lines, ok := evalAsserts(snap, asserts)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// assertion is one parsed threshold expression from -assert.
+type assertion struct {
+	name  string
+	op    string
+	value int64
+}
+
+// assertOps is the comparison vocabulary, longest operators first so that
+// "<=" never parses as "<" with a stray "=" in the number.
+var assertOps = []string{"<=", ">=", "==", "!=", "<", ">"}
+
+// parseAsserts splits a comma-separated -assert expression list into
+// assertions. Each expression is `series op value`, e.g.
+// "gateway_spool_depth_count<=8" or "wal_live_bytes==0". Whitespace around
+// expressions is tolerated (shells often add it around commas).
+func parseAsserts(spec string) ([]assertion, error) {
+	var out []assertion
+	for _, raw := range strings.Split(spec, ",") {
+		expr := strings.TrimSpace(raw)
+		if expr == "" {
+			continue
+		}
+		var a assertion
+		for _, op := range assertOps {
+			if i := strings.Index(expr, op); i > 0 {
+				a = assertion{name: strings.TrimSpace(expr[:i]), op: op}
+				v, err := strconv.ParseInt(strings.TrimSpace(expr[i+len(op):]), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("assert %q: bad threshold: %v", expr, err)
+				}
+				a.value = v
+				break
+			}
+		}
+		if a.op == "" {
+			return nil, fmt.Errorf("assert %q: no comparison operator (want one of %s)", expr, strings.Join(assertOps, " "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-assert given but no expressions parsed from %q", spec)
+	}
+	return out, nil
+}
+
+// resolveSeries reads the asserted value of one series from the rollup:
+// counters gate on the fleet total, gauges on the fleet maximum (thresholds
+// bound the worst member, not the sum), histograms on the observation
+// count. The second return is false when no target reported the series.
+func resolveSeries(snap *galiot.ObsFleetSnapshot, name string) (int64, bool) {
+	if c, ok := snap.Counters[name]; ok {
+		return int64(c.Total), true
+	}
+	if g, ok := snap.Gauges[name]; ok {
+		return g.Max, true
+	}
+	if h, ok := snap.Histograms[name]; ok {
+		return int64(h.Count), true
+	}
+	return 0, false
+}
+
+// evalAsserts checks every assertion against the snapshot and returns one
+// result line per assertion plus the overall verdict. A series absent from
+// the rollup fails its assertion: a gate that silently passes because the
+// metric was renamed is worse than a false alarm.
+func evalAsserts(snap *galiot.ObsFleetSnapshot, asserts []assertion) (lines []string, ok bool) {
+	ok = true
+	for _, a := range asserts {
+		got, found := resolveSeries(snap, a.name)
+		if !found {
+			lines = append(lines, fmt.Sprintf("FAIL %s%s%d (series not in rollup)", a.name, a.op, a.value))
+			ok = false
+			continue
+		}
+		pass := false
+		switch a.op {
+		case "<=":
+			pass = got <= a.value
+		case ">=":
+			pass = got >= a.value
+		case "==":
+			pass = got == a.value
+		case "!=":
+			pass = got != a.value
+		case "<":
+			pass = got < a.value
+		case ">":
+			pass = got > a.value
+		}
+		mark := "ok  "
+		if !pass {
+			mark = "FAIL"
+			ok = false
+		}
+		lines = append(lines, fmt.Sprintf("%s %s%s%d (value %d)", mark, a.name, a.op, a.value, got))
+	}
+	return lines, ok
+}
+
+// loadSnapshot reads a canned FleetSnapshot from a JSON file (the bytes of
+// a /fleet/metrics response or a fleet soak's ROLLUP.json artifact), so the
+// gate can run in CI without a live endpoint.
+func loadSnapshot(path string) (*galiot.ObsFleetSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap galiot.ObsFleetSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}

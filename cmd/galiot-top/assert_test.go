@@ -1,0 +1,103 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseAsserts(t *testing.T) {
+	got, err := parseAsserts("gateway_spool_depth_count<=8, wal_live_bytes==0 ,cloud_segments_decoded_total>10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []assertion{
+		{name: "gateway_spool_depth_count", op: "<=", value: 8},
+		{name: "wal_live_bytes", op: "==", value: 0},
+		{name: "cloud_segments_decoded_total", op: ">", value: 10},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d assertions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assertion %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{"", "  ,  ", "no_operator", "name<=abc", "<=5"} {
+		if _, err := parseAsserts(bad); err == nil {
+			t.Fatalf("parseAsserts(%q) accepted", bad)
+		}
+	}
+	// "<=" must win over "<" even though "<" matches first by position.
+	one, err := parseAsserts("a_b<=5")
+	if err != nil || one[0].op != "<=" || one[0].value != 5 {
+		t.Fatalf("a_b<=5 parsed as %+v (err %v)", one, err)
+	}
+}
+
+// TestEvalAssertsOverCannedRollup runs the gate over the checked-in
+// ROLLUP.json artifact: counters resolve to the fleet total, gauges to the
+// max, histograms to the count, and a missing series fails rather than
+// silently passing.
+func TestEvalAssertsOverCannedRollup(t *testing.T) {
+	snap, err := loadSnapshot(filepath.Join("testdata", "ROLLUP.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pass := []string{
+		"cloud_segments_decoded_total==42", // counter -> total
+		"gateway_spool_dropped_total<=0",   // zero threshold holds
+		"gateway_spool_depth_count<=9",     // gauge -> max (9), not sum (11)
+		"wal_live_bytes<=65536",            // gauge max exactly at threshold
+		"farm_queue_wait_samples>=7",       // histogram -> count
+		"wal_truncated_records_total!=0",   // observed truncation
+	}
+	lines, ok := evalAsserts(snap, mustParse(t, strings.Join(pass, ",")))
+	if !ok {
+		t.Fatalf("passing gate failed:\n%s", strings.Join(lines, "\n"))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "ok") {
+			t.Fatalf("unexpected line in passing gate: %q", l)
+		}
+	}
+
+	fail := []struct {
+		expr   string
+		reason string
+	}{
+		{"gateway_spool_depth_count<=8", "gauge max 9 over threshold"},
+		{"cloud_segments_decoded_total<42", "counter total not under"},
+		{"wal_records_appended_total==0", "series absent from rollup"},
+	}
+	for _, f := range fail {
+		lines, ok := evalAsserts(snap, mustParse(t, f.expr))
+		if ok {
+			t.Fatalf("%s should fail (%s):\n%s", f.expr, f.reason, strings.Join(lines, "\n"))
+		}
+		if len(lines) != 1 || !strings.HasPrefix(lines[0], "FAIL") {
+			t.Fatalf("%s: want one FAIL line, got %v", f.expr, lines)
+		}
+	}
+
+	// Mixed gate: one failure fails the whole gate but every line reports.
+	lines, ok = evalAsserts(snap, mustParse(t, "cloud_segments_decoded_total==42,wal_live_bytes==0"))
+	if ok || len(lines) != 2 {
+		t.Fatalf("mixed gate: ok=%v lines=%v", ok, lines)
+	}
+	if !strings.HasPrefix(lines[0], "ok") || !strings.HasPrefix(lines[1], "FAIL") {
+		t.Fatalf("mixed gate lines = %v", lines)
+	}
+}
+
+func mustParse(t *testing.T, spec string) []assertion {
+	t.Helper()
+	a, err := parseAsserts(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

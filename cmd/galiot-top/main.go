@@ -11,6 +11,16 @@
 //	galiot-top -addr 127.0.0.1:9900
 //	galiot-top -addr 127.0.0.1:9900 -watch 2s
 //	galiot-top -addr 127.0.0.1:9900 -json
+//
+// With -assert the dashboard becomes a scriptable gate: each
+// comma-separated `series op value` expression is checked against the
+// fleet rollup (counters gate on the total, gauges on the max, histograms
+// on the count) and the process exits non-zero when any fails. -rollup
+// evaluates a canned /fleet/metrics JSON file instead of scraping, so the
+// same gate runs against CI artifacts:
+//
+//	galiot-top -addr 127.0.0.1:9900 -assert 'gateway_spool_dropped_total==0,wal_live_bytes<=1048576'
+//	galiot-top -rollup ROLLUP.json -assert 'cloud_segments_decoded_total>=100'
 package main
 
 import (
@@ -31,15 +41,25 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:9900", "observability endpoint to scrape (host:port of a -obs-addr)")
-		watch  = flag.Duration("watch", 0, "refresh on this interval until interrupted (0 = one shot)")
-		asJSON = flag.Bool("json", false, "emit the raw scrape as one JSON object instead of the text view")
-		events = flag.Int("events", 12, "journal entries to show (most recent; 0 = all)")
+		addr    = flag.String("addr", "127.0.0.1:9900", "observability endpoint to scrape (host:port of a -obs-addr)")
+		watch   = flag.Duration("watch", 0, "refresh on this interval until interrupted (0 = one shot)")
+		asJSON  = flag.Bool("json", false, "emit the raw scrape as one JSON object instead of the text view")
+		events  = flag.Int("events", 12, "journal entries to show (most recent; 0 = all)")
+		asserts = flag.String("assert", "", "comma-separated threshold gates, e.g. 'gateway_spool_dropped_total==0,wal_live_bytes<=1048576'; exit 1 when any fails")
+		rollup  = flag.String("rollup", "", "evaluate -assert against this /fleet/metrics JSON file instead of scraping -addr")
 	)
 	flag.Parse()
 
 	client := &http.Client{Timeout: 5 * time.Second}
 	base := "http://" + *addr
+
+	if *asserts != "" {
+		os.Exit(runAsserts(client, base, *rollup, *asserts))
+	}
+	if *rollup != "" {
+		fmt.Fprintln(os.Stderr, "galiot-top: -rollup only applies to -assert mode")
+		os.Exit(2)
+	}
 	if *watch <= 0 {
 		v, err := fetch(client, base)
 		if err != nil {

@@ -40,6 +40,7 @@ import (
 	"repro/internal/phy/xbee"
 	"repro/internal/phy/zwave"
 	"repro/internal/resilience"
+	"repro/internal/resilience/wal"
 )
 
 // Re-exported core types. The underlying packages carry the full
@@ -69,6 +70,9 @@ type (
 	// RetryPolicy bounds and paces reconnect attempts with deterministic
 	// jittered exponential backoff.
 	RetryPolicy = resilience.RetryPolicy
+	// WALSyncPolicy selects when the crash-durable spool's write-ahead log
+	// fsyncs (GatewayResilient.WALSync).
+	WALSyncPolicy = wal.SyncPolicy
 	// Cloud is the collision-decoding service.
 	Cloud = cloud.Service
 	// CloudServer is a TCP front for the Cloud service.
@@ -147,6 +151,19 @@ type (
 // SampleRate is the paper's gateway sample rate: the RTL-SDR configured
 // for a 1 MHz capture bandwidth at 868 MHz.
 const SampleRate = 1e6
+
+// WAL fsync policies for GatewayResilient.WALSync.
+const (
+	// WALSyncBatched fsyncs every few appends and on rotation/close —
+	// the default balance of durability and throughput.
+	WALSyncBatched = wal.SyncBatched
+	// WALSyncRecord fsyncs after every append: no loss window, one disk
+	// round-trip per segment.
+	WALSyncRecord = wal.SyncEachRecord
+	// WALSyncOff never fsyncs during appends; a power loss can cost the
+	// whole page cache, but a process crash costs nothing.
+	WALSyncOff = wal.SyncNone
+)
 
 // Technologies returns fresh default instances of the three prototype
 // technologies evaluated in the paper — LoRa (CSS), XBee (GFSK) and Z-Wave

@@ -46,6 +46,28 @@ func badHealth(h *obs.Health) {
 	h.RegisterReadiness("headroom", nil)     // want "health check name \\\"headroom\\\" does not follow subsystem_subject_condition"
 }
 
+// Durability vocabulary: the wal_* metric, event and health names added
+// with the crash-durable spool must lint clean, and the obvious
+// misnamings must not.
+func goodWAL(r *obs.Registry, j *obs.Journal, h *obs.Health) {
+	_ = r.Counter("wal_records_appended_total")
+	_ = r.Counter("wal_truncated_records_total")
+	_ = r.Gauge("wal_live_bytes")
+	j.Record("wal_window_recover", 5)
+	j.Record("wal_tail_truncate", 1)
+	j.Record("wal_file_compact", 1)
+	h.Register("wal_dir_ready", func() obs.CheckResult { return obs.CheckResult{Healthy: true} })
+	h.RegisterReadiness("wal_backlog_headroom", func() obs.CheckResult { return obs.CheckResult{Healthy: true} })
+}
+
+func badWAL(r *obs.Registry, j *obs.Journal, h *obs.Health) {
+	_ = r.Counter("wal_bytes")         // want "metric name \\\"wal_bytes\\\" does not follow subsystem_name_unit"
+	_ = r.Gauge("wal_backlog_size")    // want "metric name \\\"wal_backlog_size\\\" does not follow subsystem_name_unit"
+	j.Record("wal_truncated", 1)       // want "event name \\\"wal_truncated\\\" does not follow subsystem_subject_verb"
+	j.Record("wal_tail_corruption", 1) // want "event name \\\"wal_tail_corruption\\\" does not follow subsystem_subject_verb"
+	h.Register("wal_ok", nil)          // want "health check name \\\"wal_ok\\\" does not follow subsystem_subject_condition"
+}
+
 // Dynamic names cannot be checked statically; the registries validate them
 // at runtime instead.
 func dynamic(r *obs.Registry, j *obs.Journal, tech string) {

@@ -60,6 +60,7 @@ type cloudMetrics struct {
 	duplicates *obs.Counter            // cloud_duplicates_total
 	deduped    *obs.Counter            // cloud_segments_deduped_total
 	dedupEvict *obs.Counter            // cloud_dedup_evictions_total (age-based)
+	dedupSuper *obs.Counter            // cloud_dedup_superseded_total (epoch-superseded)
 	techFrames map[string]*obs.Counter // per-technology decoded frames
 }
 
@@ -75,6 +76,7 @@ func newCloudMetrics(reg *obs.Registry, techs []phy.Technology) cloudMetrics {
 		duplicates: reg.Counter("cloud_duplicates_total"),
 		deduped:    reg.Counter("cloud_segments_deduped_total"),
 		dedupEvict: reg.Counter("cloud_dedup_evictions_total"),
+		dedupSuper: reg.Counter("cloud_dedup_superseded_total"),
 		techFrames: make(map[string]*obs.Counter, len(techs)),
 	}
 	for _, t := range techs {
@@ -333,7 +335,10 @@ func (s *Service) ServeHello(conn *backhaul.Conn, hello backhaul.Hello, hint bac
 	if hello.Epoch != 0 {
 		// An epoch-bearing gateway replays its unacked window after every
 		// reconnect; remembering decoded reports per (gateway, epoch,
-		// start) answers those replays without re-decoding.
+		// start) answers those replays without re-decoding. A fresh epoch
+		// supersedes the gateway's older ones: it announces a restart, so
+		// entries cached under dead epochs are unreachable and dropped.
+		s.m.dedupSuper.Add(s.dedup.supersede(hello.GatewayID, hello.Epoch))
 		ss.dedup = &sessionDedup{c: &s.dedup, gateway: hello.GatewayID, epoch: hello.Epoch}
 	}
 	for {

@@ -173,6 +173,29 @@ func (c *dedupCache) put(k dedupKey, rep backhaul.FramesReport) {
 	c.fifo = append(c.fifo, dedupEntry{key: k, at: nowNanos})
 }
 
+// supersede drops every live entry of the gateway belonging to a different
+// epoch and returns how many were dropped. A restarted gateway announces a
+// fresh epoch in its hello and replays its persisted window under it, so
+// reports cached under the dead epochs can never be asked for again —
+// holding them would only squeeze live entries out of the count bound. The
+// FIFO keeps its now-stale records; the liveness token makes them skippable.
+func (c *dedupCache) supersede(gateway string, epoch uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped uint64
+	for i := c.head; i < len(c.fifo); i++ {
+		e := c.fifo[i]
+		if e.key.gateway != gateway || e.key.epoch == epoch {
+			continue
+		}
+		if v, ok := c.m[e.key]; ok && v.at == e.at {
+			delete(c.m, e.key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
 // len reports the live entry count (tests and monitoring).
 func (c *dedupCache) len() int {
 	c.mu.Lock()

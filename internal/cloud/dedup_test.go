@@ -126,3 +126,39 @@ func TestDedupCacheFIFOCompaction(t *testing.T) {
 		t.Fatalf("fifo grew to %d entries for a size-4 cache; compaction broken", len(c.fifo))
 	}
 }
+
+// TestDedupCacheSupersede checks epoch supersession: a fresh epoch drops the
+// gateway's entries under dead epochs, leaves its current-epoch entries and
+// other gateways alone, and reports exactly how many it dropped.
+func TestDedupCacheSupersede(t *testing.T) {
+	t.Parallel()
+	c := &dedupCache{size: 16}
+	put := func(gw string, epoch uint64, start int64) {
+		c.put(dedupKey{gateway: gw, epoch: epoch, start: start}, backhaul.FramesReport{SegmentStart: start})
+	}
+	put("gw-a", 7, 0)
+	put("gw-a", 7, 100)
+	put("gw-a", 7, 200)
+	put("gw-a", 8, 300) // already on the new epoch: must survive
+	put("gw-b", 7, 400) // different gateway: must survive
+
+	if dropped := c.supersede("gw-a", 8); dropped != 3 {
+		t.Fatalf("supersede dropped %d entries, want 3", dropped)
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("live entries = %d after supersession, want 2", got)
+	}
+	if _, ok := c.get(dedupKey{gateway: "gw-a", epoch: 7, start: 100}); ok {
+		t.Fatal("dead-epoch entry survived supersession")
+	}
+	if _, ok := c.get(dedupKey{gateway: "gw-a", epoch: 8, start: 300}); !ok {
+		t.Fatal("current-epoch entry dropped by supersession")
+	}
+	if _, ok := c.get(dedupKey{gateway: "gw-b", epoch: 7, start: 400}); !ok {
+		t.Fatal("other gateway's entry dropped by supersession")
+	}
+	// Same epoch again: nothing left to supersede.
+	if dropped := c.supersede("gw-a", 8); dropped != 0 {
+		t.Fatalf("second supersede dropped %d entries, want 0", dropped)
+	}
+}

@@ -1,0 +1,413 @@
+// Filesystem fault injection for the durable-shipping WAL. The package's
+// net.Conn wrapper makes backhaul chaos reproducible; FS does the same for
+// disk: a seeded plan of short writes, write errors, single-byte corruption
+// and fsync failures, applied at deterministic points in the write/sync
+// sequence, plus a Crash() that models power loss by tearing every file
+// back to its synced prefix plus a seeded fraction of the unsynced tail.
+//
+// The injector sits behind the narrow Filesystem/File seam the WAL writes
+// through, so production code runs on the real OS (OS()) and tests run the
+// identical code path through NewFS.
+
+package faults
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Filesystem is the minimal filesystem surface the WAL needs: directory
+// setup and listing, whole-file reads for recovery scans, append-only
+// writes, and the truncate/remove calls of tail repair and compaction.
+type Filesystem interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// List returns the names (not paths) of the regular files in dir,
+	// sorted ascending.
+	List(dir string) ([]string, error)
+	// ReadFile returns the full contents of the file at path.
+	ReadFile(path string) ([]byte, error)
+	// OpenAppend opens the file at path for appending, creating it if
+	// needed.
+	OpenAppend(path string) (File, error)
+	// Truncate cuts the file at path to size bytes.
+	Truncate(path string, size int64) error
+	// Remove deletes the file at path.
+	Remove(path string) error
+}
+
+// File is an append-only file handle: sequential writes, explicit
+// durability via Sync, Close when done.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OS returns the real os-backed Filesystem.
+func OS() Filesystem { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+// FSOp is the kind of filesystem fault an FSEvent injects.
+type FSOp uint8
+
+const (
+	// FSWriteShort persists only Keep bytes of the write and returns
+	// ErrInjectedFS — models a partial write interrupted by a crash or a
+	// full disk.
+	FSWriteShort FSOp = iota
+	// FSWriteErr persists nothing and returns ErrInjectedFS.
+	FSWriteErr
+	// FSCorrupt flips one byte of the write (XOR Mask at offset Byte,
+	// clamped to the write) and then succeeds — models silent media
+	// corruption that only a checksum catches.
+	FSCorrupt
+	// FSSyncErr makes the Sync call fail; the bytes written since the last
+	// successful sync stay vulnerable to Crash.
+	FSSyncErr
+)
+
+func (o FSOp) String() string {
+	switch o {
+	case FSWriteShort:
+		return "write-short"
+	case FSWriteErr:
+		return "write-err"
+	case FSCorrupt:
+		return "corrupt"
+	case FSSyncErr:
+		return "sync-err"
+	}
+	return "unknown"
+}
+
+// FSEvent is one scheduled filesystem fault. Nth counts calls through the
+// injector — writes for the write ops, syncs for FSSyncErr — starting at 1,
+// which is what makes a plan deterministic regardless of which files the
+// calls land on.
+type FSEvent struct {
+	Op   FSOp
+	Nth  int
+	Keep int  // FSWriteShort: bytes actually persisted
+	Byte int  // FSCorrupt: offset within the write
+	Mask byte // FSCorrupt: XOR mask (0 is treated as 0xFF)
+}
+
+// FSPlan is the fault schedule for one FS lifetime.
+type FSPlan struct {
+	Events []FSEvent
+}
+
+// ErrInjectedFS is returned by writes and syncs when a scheduled fault
+// fires.
+var ErrInjectedFS = fmt.Errorf("faults: injected filesystem fault")
+
+// ErrCrashed is returned by every write-side call after Crash.
+var ErrCrashed = fmt.Errorf("faults: filesystem crashed")
+
+// fsFileState tracks one file's durability frontier: how many bytes the
+// inner filesystem holds and how many of them a crash is guaranteed to
+// preserve (the synced prefix).
+type fsFileState struct {
+	size   int64
+	synced int64
+}
+
+// FS wraps a Filesystem with a deterministic fault plan. All methods are
+// safe for concurrent use; the write and sync counters are global across
+// files so a plan's Nth coordinates line up with the caller's logical
+// operation sequence.
+type FS struct {
+	inner Filesystem
+	gen   *rng.Rand
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	events  []FSEvent
+	files   map[string]*fsFileState
+	crashed bool
+}
+
+// NewFS wraps inner with the plan; seed drives the torn-tail lengths of
+// Crash.
+func NewFS(inner Filesystem, seed uint64, plan FSPlan) *FS {
+	return &FS{
+		inner:  inner,
+		gen:    rng.New(seed),
+		events: append([]FSEvent(nil), plan.Events...),
+		files:  make(map[string]*fsFileState),
+	}
+}
+
+// nextEvent pops the first scheduled event in the write category (sync =
+// false: FSWriteShort/FSWriteErr/FSCorrupt) or the sync category whose Nth
+// equals n. Callers hold f.mu.
+func (f *FS) nextEvent(sync bool, n int) (FSEvent, bool) {
+	for i, ev := range f.events {
+		if (ev.Op == FSSyncErr) != sync || ev.Nth != n {
+			continue
+		}
+		f.events = append(f.events[:i], f.events[i+1:]...)
+		return ev, true
+	}
+	return FSEvent{}, false
+}
+
+func (f *FS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+func (f *FS) List(dir string) ([]string, error) { return f.inner.List(dir) }
+
+func (f *FS) ReadFile(path string) ([]byte, error) { return f.inner.ReadFile(path) }
+
+func (f *FS) Truncate(path string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if err := f.inner.Truncate(path, size); err != nil {
+		return err
+	}
+	if st, ok := f.files[path]; ok {
+		if st.size > size {
+			st.size = size
+		}
+		if st.synced > size {
+			st.synced = size
+		}
+	}
+	return nil
+}
+
+func (f *FS) Remove(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if err := f.inner.Remove(path); err != nil {
+		return err
+	}
+	delete(f.files, path)
+	return nil
+}
+
+func (f *FS) OpenAppend(path string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := f.files[path]
+	if !ok {
+		// First sight of this file through the injector: whatever is
+		// already on disk predates the plan and counts as synced.
+		data, err := f.inner.ReadFile(path)
+		if err != nil {
+			_ = inner.Close()
+			return nil, err
+		}
+		st = &fsFileState{size: int64(len(data)), synced: int64(len(data))}
+		f.files[path] = st
+	}
+	return &fsFile{fs: f, inner: inner, st: st}, nil
+}
+
+// Crash simulates power loss: every file is torn back to its synced prefix
+// plus a seeded portion of the unsynced tail (unsynced bytes may or may not
+// have reached the platter). After Crash every write-side call fails with
+// ErrCrashed; reads keep working so a recovery path can inspect the damage
+// through a fresh Filesystem or this one.
+func (f *FS) Crash() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+	// Deterministic order: sort the tracked paths before drawing tear
+	// lengths, so a plan's outcome does not depend on map iteration.
+	paths := make([]string, 0, len(f.files))
+	//lint:ignore nondeterminism the collected paths are sorted below before any tear length is drawn
+	for p := range f.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		st := f.files[p]
+		unsynced := st.size - st.synced
+		if unsynced <= 0 {
+			continue
+		}
+		keep := st.synced + int64(f.gen.Intn(int(unsynced)+1))
+		if err := f.inner.Truncate(p, keep); err != nil {
+			return err
+		}
+		st.size, st.synced = keep, keep
+	}
+	return nil
+}
+
+// Crashed reports whether Crash has been called.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// fsFile is one open handle routing writes through the plan.
+type fsFile struct {
+	fs    *FS
+	inner File
+	st    *fsFileState
+}
+
+func (w *fsFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	w.fs.writes++
+	ev, ok := w.fs.nextEvent(false, w.fs.writes)
+	if !ok {
+		n, err := w.inner.Write(p)
+		w.st.size += int64(n)
+		return n, err
+	}
+	switch ev.Op {
+	case FSWriteErr:
+		return 0, ErrInjectedFS
+	case FSWriteShort:
+		keep := ev.Keep
+		if keep < 0 {
+			keep = 0
+		}
+		if keep >= len(p) {
+			keep = len(p) - 1
+		}
+		n, err := w.inner.Write(p[:keep])
+		w.st.size += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedFS
+	case FSCorrupt:
+		buf := append([]byte(nil), p...)
+		idx := ev.Byte
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(buf) {
+			idx = len(buf) - 1
+		}
+		m := ev.Mask
+		if m == 0 {
+			m = 0xFF
+		}
+		if len(buf) > 0 {
+			buf[idx] ^= m
+		}
+		n, err := w.inner.Write(buf)
+		w.st.size += int64(n)
+		return n, err
+	}
+	n, err := w.inner.Write(p)
+	w.st.size += int64(n)
+	return n, err
+}
+
+func (w *fsFile) Sync() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.fs.crashed {
+		return ErrCrashed
+	}
+	w.fs.syncs++
+	if _, ok := w.fs.nextEvent(true, w.fs.syncs); ok {
+		return ErrInjectedFS
+	}
+	if err := w.inner.Sync(); err != nil {
+		return err
+	}
+	w.st.synced = w.st.size
+	return nil
+}
+
+func (w *fsFile) Close() error { return w.inner.Close() }
+
+// GenFSPlan builds a deterministic fault plan from the seed: `events`
+// faults spread over the first maxNth writes/syncs, mixing short writes,
+// hard write errors, silent corruption and fsync failures. Companion to
+// GenSchedule for the disk side; the WAL recovery matrix test sweeps seeds
+// through it.
+func GenFSPlan(seed uint64, events, maxNth int) FSPlan {
+	if maxNth < 1 {
+		maxNth = 1
+	}
+	root := rng.New(seed)
+	var plan FSPlan
+	for i := 0; i < events; i++ {
+		g := root.Split(uint64(i))
+		ev := FSEvent{Nth: 1 + g.Intn(maxNth)}
+		switch g.Intn(4) {
+		case 0:
+			ev.Op = FSWriteShort
+			ev.Keep = g.Intn(32)
+		case 1:
+			ev.Op = FSWriteErr
+		case 2:
+			ev.Op = FSCorrupt
+			ev.Byte = g.Intn(64)
+			ev.Mask = byte(1 + g.Intn(255))
+		default:
+			ev.Op = FSSyncErr
+		}
+		plan.Events = append(plan.Events, ev)
+	}
+	return plan
+}
+
+// compile-time interface checks
+var (
+	_ Filesystem = osFS{}
+	_ Filesystem = (*FS)(nil)
+	_ File       = (*fsFile)(nil)
+)

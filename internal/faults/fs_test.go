@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeThrough(t *testing.T, f File, p []byte) (int, error) {
+	t.Helper()
+	return f.Write(p)
+}
+
+func TestFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(OS(), 1, FSPlan{Events: []FSEvent{
+		{Op: FSWriteShort, Nth: 2, Keep: 3},
+	}})
+	f, err := fs.OpenAppend(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := writeThrough(t, f, []byte("hello")); n != 5 || err != nil {
+		t.Fatalf("write 1: n=%d err=%v", n, err)
+	}
+	n, err := writeThrough(t, f, []byte("world"))
+	if n != 3 || !errors.Is(err, ErrInjectedFS) {
+		t.Fatalf("short write: n=%d err=%v, want 3, ErrInjectedFS", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hellowor" {
+		t.Fatalf("on disk %q, want %q", data, "hellowor")
+	}
+}
+
+func TestFSWriteErrPersistsNothing(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(OS(), 1, FSPlan{Events: []FSEvent{
+		{Op: FSWriteErr, Nth: 1},
+	}})
+	f, err := fs.OpenAppend(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := writeThrough(t, f, []byte("lost")); n != 0 || !errors.Is(err, ErrInjectedFS) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	// The plan event is consumed: the retry goes through clean.
+	if n, err := writeThrough(t, f, []byte("kept")); n != 4 || err != nil {
+		t.Fatalf("retry: n=%d err=%v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(data) != "kept" {
+		t.Fatalf("on disk %q, want %q", data, "kept")
+	}
+}
+
+func TestFSCorruptFlipsOneByte(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(OS(), 1, FSPlan{Events: []FSEvent{
+		{Op: FSCorrupt, Nth: 1, Byte: 2, Mask: 0x0F},
+	}})
+	f, err := fs.OpenAppend(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte{1, 2, 3, 4}
+	if n, err := writeThrough(t, f, src); n != 4 || err != nil {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "a"))
+	want := []byte{1, 2, 3 ^ 0x0F, 4}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("on disk %v, want %v", data, want)
+	}
+	// The caller's buffer must not be touched: corruption is on-media only.
+	if !bytes.Equal(src, []byte{1, 2, 3, 4}) {
+		t.Fatalf("caller buffer mutated: %v", src)
+	}
+}
+
+func TestFSSyncErr(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(OS(), 1, FSPlan{Events: []FSEvent{
+		{Op: FSSyncErr, Nth: 1},
+	}})
+	f, err := fs.OpenAppend(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeThrough(t, f, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedFS) {
+		t.Fatalf("sync 1: %v, want ErrInjectedFS", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFSCrashTearsToSyncedPrefix checks the crash model: synced bytes
+// always survive, unsynced bytes survive only up to a seeded tear point,
+// and the tear is deterministic per seed.
+func TestFSCrashTearsToSyncedPrefix(t *testing.T) {
+	sizes := make(map[uint64]int64)
+	for _, seed := range []uint64{1, 2, 3, 1} {
+		dir := t.TempDir()
+		fs := NewFS(OS(), seed, FSPlan{})
+		path := filepath.Join(dir, "a")
+		f, err := fs.OpenAppend(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writeThrough(t, f, bytes.Repeat([]byte{0xAB}, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writeThrough(t, f, bytes.Repeat([]byte{0xCD}, 50)); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if !fs.Crashed() {
+			t.Fatal("Crashed() false after Crash")
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() < 100 || st.Size() > 150 {
+			t.Fatalf("seed %d: post-crash size %d outside [100,150]", seed, st.Size())
+		}
+		if prev, ok := sizes[seed]; ok && prev != st.Size() {
+			t.Fatalf("seed %d: tear nondeterministic: %d then %d", seed, prev, st.Size())
+		}
+		sizes[seed] = st.Size()
+
+		// Every write-side call fails after the crash; reads still work.
+		if _, err := fs.OpenAppend(path); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("OpenAppend after crash: %v", err)
+		}
+		if err := fs.Truncate(path, 0); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("Truncate after crash: %v", err)
+		}
+		if err := fs.Remove(path); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("Remove after crash: %v", err)
+		}
+		if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("Write after crash: %v", err)
+		}
+		if _, err := fs.ReadFile(path); err != nil {
+			t.Fatalf("ReadFile after crash: %v", err)
+		}
+	}
+}
+
+// TestFSPreexistingBytesCountSynced checks that data already on disk when a
+// file first passes through the injector is never torn by Crash.
+func TestFSPreexistingBytesCountSynced(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	if err := os.WriteFile(path, []byte("durable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFS(OS(), 9, FSPlan{})
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeThrough(t, f, []byte("-tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < len("durable") || string(data[:7]) != "durable" {
+		t.Fatalf("pre-existing bytes torn: %q", data)
+	}
+}
+
+func TestGenFSPlanDeterministic(t *testing.T) {
+	a := GenFSPlan(42, 6, 20)
+	b := GenFSPlan(42, 6, 20)
+	if len(a.Events) != 6 || len(b.Events) != 6 {
+		t.Fatalf("plan sizes %d/%d, want 6", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+		if a.Events[i].Nth < 1 || a.Events[i].Nth > 20 {
+			t.Fatalf("event %d Nth %d outside [1,20]", i, a.Events[i].Nth)
+		}
+	}
+	c := GenFSPlan(43, 6, 20)
+	same := true
+	for i := range a.Events {
+		if a.Events[i] != c.Events[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}

@@ -10,11 +10,18 @@ import (
 	"repro/internal/backhaul"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/resilience/wal"
 )
 
 // DefaultSpoolCapacity bounds the in-memory segment spool when
 // Resilient.SpoolCapacity is zero.
 const DefaultSpoolCapacity = 64
+
+// DefaultWALBacklogMax is the replay-backlog readiness threshold when
+// Resilient.WALBacklogMax is zero: a gateway sitting on more unacked WAL
+// records than this would dump an oversized replay burst on restart, so
+// /readyz reports it out of headroom.
+const DefaultWALBacklogMax = 4096
 
 // Resilient configures RunResilient, the reconnecting flavor of Run.
 type Resilient struct {
@@ -41,6 +48,21 @@ type Resilient struct {
 	// Every session of one RunResilient call repeats the same epoch; a
 	// restarted gateway should pass a fresh value. Zero is replaced by 1.
 	Epoch uint64
+	// WALDir enables crash-durable shipping: every admitted segment is
+	// journaled to a write-ahead log in this directory before it is
+	// spooled, acks are journaled as the shipped window advances, and a
+	// restarted gateway replays the unacknowledged window (oldest first,
+	// under its fresh Epoch) ahead of new traffic. Empty disables the WAL
+	// — behavior is then byte-identical to the purely in-memory spool.
+	WALDir string
+	// WALSync selects the WAL fsync policy (default wal.SyncBatched).
+	WALSync wal.SyncPolicy
+	// WALFileBytes caps one WAL file before rotation (default
+	// wal.DefaultFileBytes).
+	WALFileBytes int64
+	// WALBacklogMax bounds the wal_backlog_headroom readiness check
+	// (default DefaultWALBacklogMax).
+	WALBacklogMax int
 }
 
 // resMetrics is the registry-backed counter set of the resilience layer.
@@ -140,6 +162,16 @@ func (g *Gateway) degrade(rm *resMetrics, it resilience.Item, reports func(backh
 	}
 }
 
+// segSpool abstracts over the in-memory spool and its WAL-backed flavor so
+// the feeder and session loop are indifferent to durability.
+type segSpool interface {
+	Put(resilience.Item) (resilience.Item, bool)
+	C() <-chan resilience.Item
+	Len() int
+	Cap() int
+	Close()
+}
+
 // resilientRun is the cross-session state of one RunResilient call.
 type resilientRun struct {
 	g       *Gateway
@@ -147,7 +179,8 @@ type resilientRun struct {
 	rm      *resMetrics
 	window  int
 	auto    bool // Config.Window was unset: ack capacity hints may grow it
-	spool   *resilience.Spool
+	spool   segSpool
+	wal     *wal.Log // nil when WALDir is unset
 	reports func(backhaul.FramesReport)
 	hello   backhaul.Hello
 
@@ -163,12 +196,32 @@ type resilientRun struct {
 }
 
 // degradeItem routes one segment through the degraded edge-only path and
-// journals the enter edge of the episode.
+// journals the enter edge of the episode. The edge-only decode is the
+// item's final disposition, so its WAL record (if any) is acked.
 func (r *resilientRun) degradeItem(it resilience.Item) {
 	if r.degraded.CompareAndSwap(false, true) {
 		r.g.cfg.Journal.Record("gateway_degraded_enter", int64(r.spool.Len()))
 	}
 	r.g.degrade(r.rm, it, r.reports)
+	r.ack(it)
+}
+
+// ack retires the item's WAL record once the item is finally handled.
+func (r *resilientRun) ack(it resilience.Item) {
+	if r.wal != nil && it.WAL != 0 {
+		r.wal.Ack(it.WAL)
+	}
+}
+
+// closeWAL closes the log on the orderly-shutdown paths, where every
+// admitted segment has been finally handled (acked or degraded-drained) and
+// the close therefore clears the directory.
+func (r *resilientRun) closeWAL() {
+	if r.wal != nil {
+		// A close failure only forfeits the final compaction, which the
+		// next open redoes.
+		_ = r.wal.Close()
+	}
 }
 
 // RunResilient is Run behind a reconnecting backhaul client. Captures are
@@ -218,7 +271,6 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 		rm:      rm,
 		window:  window,
 		auto:    auto,
-		spool:   resilience.NewSpool(rc.SpoolCapacity),
 		reports: reports,
 		backoff: resilience.NewBackoff(rc.Retry),
 		hello: backhaul.Hello{
@@ -228,6 +280,33 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 			Techs:      techs,
 			Epoch:      rc.Epoch,
 		},
+	}
+	if rc.WALDir != "" {
+		// The WAL re-encodes segments it journals; detach the codec metrics
+		// so those encodes do not double-count the backhaul encode totals.
+		codec := g.cfg.Codec
+		codec.Metrics = nil
+		wlog, recovered, err := wal.Open(wal.Options{
+			Dir:       rc.WALDir,
+			FileBytes: rc.WALFileBytes,
+			Sync:      rc.WALSync,
+			Codec:     codec,
+			Metrics:   wal.NewMetrics(g.reg),
+			Journal:   g.cfg.Journal,
+		})
+		if err != nil {
+			return fmt.Errorf("gateway: wal: %w", err)
+		}
+		// Recovered entries are requeued ahead of fresh traffic, oldest
+		// first, with sent=false: this process never shipped them, so their
+		// first ship is not a same-session replay — wal_records_replayed_total
+		// already accounts for the restart replay.
+		for _, e := range recovered {
+			r.pending = append(r.pending, carried{it: resilience.Item{Seg: e.Seg, WAL: e.ID}})
+		}
+		r.spool, r.wal = resilience.NewDurableSpool(rc.SpoolCapacity, wlog), wlog
+	} else {
+		r.spool = resilience.NewSpool(rc.SpoolCapacity)
 	}
 	if h := g.cfg.Health; h != nil {
 		// Liveness follows the session state: a gateway mid-redial is
@@ -247,6 +326,31 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 			}
 			return obs.Healthy(fmt.Sprintf("%d/%d spooled", depth, rc.SpoolCapacity))
 		})
+		if r.wal != nil {
+			backlogMax := rc.WALBacklogMax
+			if backlogMax <= 0 {
+				backlogMax = DefaultWALBacklogMax
+			}
+			// A wedged WAL cannot journal anything: the gateway still ships
+			// from memory but has lost its crash durability, which is a
+			// liveness-grade fault for a durably-configured gateway.
+			h.Register("wal_dir_ready", func() obs.CheckResult {
+				if err := r.wal.Wedged(); err != nil {
+					return obs.Unhealthy(fmt.Sprintf("wal wedged: %v", err))
+				}
+				return obs.Healthy("wal dir writable")
+			})
+			// Backlog is readiness: an oversized unacked window means the next
+			// restart replays a burst the cloud has to chew through before new
+			// traffic flows.
+			h.RegisterReadiness("wal_backlog_headroom", func() obs.CheckResult {
+				depth := r.wal.Backlog()
+				if depth > backlogMax {
+					return obs.Unhealthy(fmt.Sprintf("replay backlog %d exceeds %d", depth, backlogMax))
+				}
+				return obs.Healthy(fmt.Sprintf("%d/%d unacked records", depth, backlogMax))
+			})
+		}
 	}
 
 	// Feeder: keep detecting no matter what the backhaul is doing. Spool
@@ -294,9 +398,22 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 			if finished {
 				close(quit)
 				<-feederDone
+				r.closeWAL()
 				return nil
 			}
 			lastErr = serr
+		}
+		if errors.Is(lastErr, resilience.ErrKilled) {
+			// Simulated SIGKILL: abandon all process state in place — no
+			// degraded drain, no WAL sync or compaction — so a restart
+			// exercises the genuine crash-recovery path against whatever
+			// happened to reach the platter.
+			close(quit)
+			<-feederDone
+			if r.wal != nil {
+				r.wal.Abandon()
+			}
+			return lastErr
 		}
 		d, ok := r.backoff.Next()
 		if !ok {
@@ -314,6 +431,7 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 				r.degradeItem(c.it)
 			}
 			r.pending = nil
+			r.closeWAL()
 			return r.backoff.Err(lastErr)
 		}
 		// Surface the wait on /metrics while it is happening: an operator
@@ -427,7 +545,11 @@ func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error
 		if idx < 0 {
 			return // reply for a seq we no longer track; harmless
 		}
+		fl := inflight[idx]
 		inflight = append(inflight[:idx], inflight[idx+1:]...)
+		// Either reply is the segment's final disposition — a busy reject is
+		// never reshipped — so the WAL record retires here.
+		r.ack(fl.it)
 		if a.busy {
 			g.m.busyRejects.Inc()
 			g.cfg.Journal.Record("gateway_busy_reject", int64(a.seq))

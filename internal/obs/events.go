@@ -11,6 +11,7 @@ import (
 var EventVerbs = []string{
 	"attach",    // a component joined a plane (shard attach)
 	"backoff",   // a retry delay began (redial backoff)
+	"compact",   // a durable-storage file was reclaimed (wal compact)
 	"detach",    // a component left a plane (shard detach)
 	"die",       // a session or connection failed
 	"drop",      // a segment left the reliable path
@@ -19,9 +20,11 @@ var EventVerbs = []string{
 	"exhaust",   // a retry budget ran out
 	"exit",      // a mode was left (degraded exit)
 	"reap",      // an idle session was collected
+	"recover",   // persisted state was restored (wal window recover)
 	"reject",    // an admission rejection (busy reject)
 	"replay",    // an unacked segment was reshipped
 	"resize",    // a plane changed shape
+	"truncate",  // a corrupt tail was cut (wal tail truncate)
 }
 
 // ValidEventName reports whether name follows the subsystem_subject_verb

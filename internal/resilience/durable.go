@@ -1,0 +1,65 @@
+package resilience
+
+import (
+	"errors"
+
+	"repro/internal/resilience/wal"
+)
+
+// ErrKilled is the sentinel a Dial function returns to simulate SIGKILL in
+// crash-recovery tests: the resilient client must abandon all process
+// state in place — no degraded drain, no WAL sync or compaction — exactly
+// as a killed process would, so a subsequent restart exercises the real
+// recovery path.
+var ErrKilled = errors.New("resilience: killed")
+
+// DurableSpool is a Spool whose admissions survive a process crash: every
+// Put journals the segment to a write-ahead log before it is spooled, and
+// the consumer acks the log record once the segment is finally handled. A
+// restarted process replays the log's unacked entries (wal.Open returns
+// them) ahead of fresh traffic.
+//
+// The WAL is an at-least-once device: a crash between a cloud ack and the
+// ack record reaching disk means the segment replays after restart, and
+// the cloud's dedup (or a fresh epoch) absorbs the duplicate. Append
+// failures are absorbed too — the segment still ships from memory, it just
+// loses its crash insurance, and the wal_append_errors_total counter says
+// so.
+type DurableSpool struct {
+	*Spool
+	log *wal.Log
+}
+
+// NewDurableSpool wraps a fresh spool of the given capacity around the
+// log. The log must be non-nil; callers that want a plain in-memory spool
+// use NewSpool.
+func NewDurableSpool(capacity int, log *wal.Log) *DurableSpool {
+	return &DurableSpool{Spool: NewSpool(capacity), log: log}
+}
+
+// Put journals the item's segment and then spools it. The returned
+// eviction contract is Spool.Put's; an evicted (or closed-spool-dropped)
+// item still carries its WAL id, so the caller's degraded path acks it.
+// Items that already carry a WAL id (recovered entries being requeued) are
+// not journaled again.
+func (d *DurableSpool) Put(it Item) (evicted Item, dropped bool) {
+	if it.WAL == 0 {
+		if id, err := d.log.Append(it.Seg); err == nil {
+			it.WAL = id
+		}
+	}
+	return d.Spool.Put(it)
+}
+
+// Ack records that the item has been finally handled (shipped and
+// acknowledged, busy-rejected, or drained through the degraded path).
+// Items without a WAL id are ignored.
+func (d *DurableSpool) Ack(it Item) {
+	if it.WAL != 0 {
+		d.log.Ack(it.WAL)
+	}
+}
+
+// Log exposes the underlying write-ahead log (health checks, Close,
+// Abandon).
+func (d *DurableSpool) Log() *wal.Log { return d.log }

@@ -1,0 +1,153 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/backhaul"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/resilience/wal"
+)
+
+func durSeg(start int64) backhaul.Segment {
+	samples := make([]complex128, 8)
+	for i := range samples {
+		samples[i] = complex(float64(i)/10, -float64(i)/20)
+	}
+	return backhaul.Segment{Start: start, SampleRate: 1e6, Samples: samples}
+}
+
+func openDurable(t *testing.T, dir string, capacity int) (*DurableSpool, []wal.Entry, *wal.Metrics) {
+	t.Helper()
+	m := wal.NewMetrics(obs.NewRegistry())
+	log, entries, err := wal.Open(wal.Options{Dir: dir, Metrics: m})
+	if err != nil {
+		t.Fatalf("wal open: %v", err)
+	}
+	return NewDurableSpool(capacity, log), entries, m
+}
+
+func TestDurableSpoolJournalsAndAcks(t *testing.T) {
+	dir := t.TempDir()
+	d, entries, m := openDurable(t, dir, 4)
+	if len(entries) != 0 {
+		t.Fatalf("fresh dir recovered %d entries", len(entries))
+	}
+	for i := 0; i < 3; i++ {
+		if _, dropped := d.Put(Item{Seg: durSeg(int64(100 * (i + 1)))}); dropped {
+			t.Fatalf("put %d dropped", i)
+		}
+	}
+	if v := m.Appended.Value(); v != 3 {
+		t.Fatalf("wal_records_appended_total = %d, want 3", v)
+	}
+	// Consume one and ack it: the record retires.
+	it := <-d.C()
+	if it.WAL == 0 {
+		t.Fatal("spooled item carries no WAL id")
+	}
+	d.Ack(it)
+	if v := m.Acked.Value(); v != 1 {
+		t.Fatalf("wal_records_acked_total = %d, want 1", v)
+	}
+	d.Log().Abandon()
+
+	// Restart: the two unacked segments replay, oldest first.
+	d2, entries, _ := openDurable(t, dir, 4)
+	if len(entries) != 2 || entries[0].Seg.Start != 200 || entries[1].Seg.Start != 300 {
+		starts := make([]int64, len(entries))
+		for i, e := range entries {
+			starts[i] = e.Seg.Start
+		}
+		t.Fatalf("recovered starts %v, want [200 300]", starts)
+	}
+	// Requeued recovered entries keep their ids and are not journaled again.
+	before := d2.Log().Backlog()
+	if _, dropped := d2.Put(Item{Seg: entries[0].Seg, WAL: entries[0].ID}); dropped {
+		t.Fatal("requeue dropped")
+	}
+	if d2.Log().Backlog() != before {
+		t.Fatalf("requeuing a recovered entry grew the backlog %d -> %d", before, d2.Log().Backlog())
+	}
+	d2.Log().Abandon()
+}
+
+// TestDurableSpoolAppendErrorAbsorbed checks the durability contract under
+// disk failure: the segment still ships from memory (Put succeeds), it just
+// carries no WAL id and the error is counted.
+func TestDurableSpoolAppendErrorAbsorbed(t *testing.T) {
+	dir := t.TempDir()
+	m := wal.NewMetrics(obs.NewRegistry())
+	fs := faults.NewFS(faults.OS(), 1, faults.FSPlan{Events: []faults.FSEvent{
+		{Op: faults.FSWriteErr, Nth: 1},
+	}})
+	log, _, err := wal.Open(wal.Options{Dir: dir, FS: fs, Metrics: m})
+	if err != nil {
+		t.Fatalf("wal open: %v", err)
+	}
+	d := NewDurableSpool(4, log)
+	if _, dropped := d.Put(Item{Seg: durSeg(100)}); dropped {
+		t.Fatal("put dropped on append error")
+	}
+	it := <-d.C()
+	if it.WAL != 0 {
+		t.Fatalf("item journaled through a failed write carries id %d", it.WAL)
+	}
+	if v := m.AppendErrors.Value(); v != 1 {
+		t.Fatalf("wal_append_errors_total = %d, want 1", v)
+	}
+	d.Ack(it) // no-op for id 0; must not panic
+	log.Abandon()
+}
+
+// TestSpoolPutCloseConcurrent races many producers against Close: every put
+// item must be accounted exactly once — drained from the channel or reported
+// dropped back to its producer — and nothing may panic on the closed channel.
+func TestSpoolPutCloseConcurrent(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 200
+	)
+	for round := 0; round < 20; round++ {
+		// Capacity covers every item, so pre-Close puts never evict: any
+		// dropped report is the Put-after-Close path.
+		s := NewSpool(producers * perProd)
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			dropped = make(map[int64]int)
+		)
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < perProd; i++ {
+					id := int64(p*perProd + i)
+					if ev, drop := s.Put(Item{Seg: backhaul.Segment{Start: id}}); drop {
+						mu.Lock()
+						dropped[ev.Seg.Start]++
+						mu.Unlock()
+					}
+				}
+			}(p)
+		}
+		close(start)
+		s.Close() // race with the producers on purpose
+		wg.Wait()
+
+		seen := make(map[int64]int)
+		for it := range s.C() {
+			seen[it.Seg.Start]++
+		}
+		for id := int64(0); id < producers*perProd; id++ {
+			total := seen[id] + dropped[id]
+			if total != 1 {
+				t.Fatalf("round %d: item %d accounted %d times (drained %d, dropped %d)",
+					round, id, total, seen[id], dropped[id])
+			}
+		}
+	}
+}

@@ -13,6 +13,11 @@ import (
 type Item struct {
 	Seg  backhaul.Segment
 	Span *obs.Span
+	// WAL is the item's write-ahead-log record id when it was journaled by
+	// a DurableSpool (0 = not journaled). Whoever finally handles the item
+	// — cloud ack, busy reject, degraded decode — acks this id so the
+	// record is not replayed after a restart.
+	WAL uint64
 }
 
 // Spool is a bounded drop-oldest FIFO between the detection pipeline and
@@ -23,10 +28,14 @@ type Item struct {
 // which lets the sender select over the spool, acks, and session errors
 // with the usual nil-channel gating.
 //
-// Single producer, single consumer. Put and Close must not race with each
-// other; the mu guard below exists so an eviction (receive under Put) and
-// the consumer's own receive from C() cannot both claim the same item
-// without the compensating re-send being observed in order.
+// Single consumer; any number of producers. Put and Close may race freely:
+// both serialize on mu, so a Put that loses the race against Close can
+// never hit the closed channel — it reports the item back as dropped, and
+// the caller routes it through the degraded path where the drop is
+// counted, exactly as an eviction would be. The mu guard also keeps an
+// eviction (receive under Put) and the consumer's own receive from C()
+// from both claiming the same item without the compensating re-send being
+// observed in order.
 type Spool struct {
 	mu     sync.Mutex
 	ch     chan Item
