@@ -49,12 +49,19 @@ func main() {
 	reg := galiot.NewObsRegistry()
 	tracer := galiot.NewObsTracer(0)
 	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
+	tracer.SetSite("cloud")
 	journal := galiot.NewObsJournal(0)
 	journal.SetClock(func() int64 { return time.Now().UnixNano() })
 	health := galiot.NewObsHealth()
+	// The trace store assembles this process's spans — stitched onto the
+	// wire-propagated trace IDs v3 gateways send — behind /trace/tree and
+	// /trace/slowest. Defaults keep every anomalous trace (replays, drops,
+	// slow outliers) plus a 1-in-16 head sample.
+	traces := galiot.NewObsTraceStore(galiot.ObsTraceStoreConfig{Obs: reg, Journal: journal})
+	tracer.SetSink(traces.Ingest)
 
 	if *shards > 1 {
-		runSharded(*listen, *obsAddr, *shards, *workers, *queue, *sessionTimeout, *dedupTTL, *quiet, techs, reg, tracer, journal, health)
+		runSharded(*listen, *obsAddr, *shards, *workers, *queue, *sessionTimeout, *dedupTTL, *quiet, techs, reg, tracer, journal, health, traces)
 		return
 	}
 
@@ -78,7 +85,7 @@ func main() {
 	// over the service registry, so tooling (galiot-top) reads the same
 	// shape regardless of shard count.
 	fl := galiot.NewObsFleet(galiot.ObsRegistryTarget("cloud", reg))
-	closeObs := startObs(*obsAddr, reg, tracer, journal, health, fl)
+	closeObs := startObs(*obsAddr, reg, tracer, journal, health, fl, traces)
 	defer closeObs()
 
 	srv := &galiot.CloudServer{Service: svc, SessionTimeout: *sessionTimeout, Journal: journal}
@@ -107,7 +114,7 @@ func main() {
 // session to one of the shards, every shard runs its own decode farm, and
 // shutdown reports per-shard session and farm counters plus the fleet
 // rollup across every shard registry.
-func runSharded(listen, obsAddr string, shards, workers, queue int, sessionTimeout, dedupTTL time.Duration, quiet bool, techs []galiot.Technology, reg *galiot.ObsRegistry, tracer *galiot.ObsTracer, journal *galiot.ObsJournal, health *galiot.ObsHealth) {
+func runSharded(listen, obsAddr string, shards, workers, queue int, sessionTimeout, dedupTTL time.Duration, quiet bool, techs []galiot.Technology, reg *galiot.ObsRegistry, tracer *galiot.ObsTracer, journal *galiot.ObsJournal, health *galiot.ObsHealth, traces *galiot.ObsTraceStore) {
 	cfg := galiot.FleetConfig{
 		Shards:     shards,
 		Workers:    workers,
@@ -135,7 +142,7 @@ func runSharded(listen, obsAddr string, shards, workers, queue int, sessionTimeo
 	// farm's private registry, so -obs-addr exposes all per-shard series
 	// through /fleet/metrics with exact per-target breakdown.
 	fl := galiot.NewObsFleet(front.Targets()...)
-	closeObs := startObs(obsAddr, reg, tracer, journal, health, fl)
+	closeObs := startObs(obsAddr, reg, tracer, journal, health, fl, traces)
 	defer closeObs()
 
 	srv := front.NewServer()
@@ -169,11 +176,11 @@ func runSharded(listen, obsAddr string, shards, workers, queue int, sessionTimeo
 // startObs starts the observability endpoint when addr is set and returns
 // its closer (a no-op when off). The fleet aggregator must be wired before
 // Start so /fleet/metrics never races a concurrent scrape.
-func startObs(addr string, reg *galiot.ObsRegistry, tracer *galiot.ObsTracer, journal *galiot.ObsJournal, health *galiot.ObsHealth, fl *galiot.ObsFleet) func() {
+func startObs(addr string, reg *galiot.ObsRegistry, tracer *galiot.ObsTracer, journal *galiot.ObsJournal, health *galiot.ObsHealth, fl *galiot.ObsFleet, traces *galiot.ObsTraceStore) func() {
 	if addr == "" {
 		return func() {}
 	}
-	obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer, Journal: journal, Health: health, Fleet: fl}
+	obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer, Journal: journal, Health: health, Fleet: fl, Traces: traces}
 	if err := obsSrv.Start(addr); err != nil {
 		fmt.Fprintln(os.Stderr, "galiot-cloud: obs server:", err)
 		os.Exit(1)

@@ -46,6 +46,7 @@ func main() {
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /events/recent, /healthz, /readyz and /fleet/metrics on this address during the run (empty = off)")
 		obsLinger = flag.Duration("obs-linger", 0, "keep the observability endpoints up this long after the run so smoke tests can scrape the final state (SIGINT ends the linger early)")
 		rollupOut = flag.String("rollup-out", "", "write the fleet metrics rollup (the report's rollup field) to this file as JSON")
+		traceOut  = flag.String("trace-out", "", "trace the run end to end and write the assembled trace trees to this file as JSON (galiot-trace reads it)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,17 @@ func main() {
 	// an empty rollup to the live per-shard view without an obs-server
 	// restart.
 	fl := galiot.NewObsFleet()
+
+	// Tracing is opt-in via -trace-out. The store is sized so a CI-scale
+	// run never evicts and keeps every trace (SampleEvery 1): the artifact
+	// is the complete record, and galiot-trace -assert gates on it.
+	var traces *galiot.ObsTraceStore
+	if *traceOut != "" {
+		traces = galiot.NewObsTraceStore(galiot.ObsTraceStoreConfig{
+			Capacity:    1 << 16,
+			SampleEvery: 1,
+		})
+	}
 
 	cfg := galiot.FleetSimConfig{
 		Gateways:       *gateways,
@@ -77,6 +89,7 @@ func main() {
 				fl.Add(t)
 			}
 		},
+		Traces: traces,
 	}
 	if *quick {
 		cfg.Gateways = 100
@@ -91,7 +104,7 @@ func main() {
 
 	var obsSrv *galiot.ObsServer
 	if *obsAddr != "" {
-		obsSrv = &galiot.ObsServer{Journal: journal, Health: health, Fleet: fl}
+		obsSrv = &galiot.ObsServer{Journal: journal, Health: health, Fleet: fl, Traces: traces}
 		if err := obsSrv.Start(*obsAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "galiot-fleet: obs server:", err)
 			os.Exit(1)
@@ -149,6 +162,21 @@ func main() {
 		}
 		log.Printf("fleet rollup written to %s", *rollupOut)
 	}
+	if traces != nil {
+		tdata, err := json.MarshalIndent(traces.Trees(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, append(tdata, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "galiot-fleet:", err)
+			os.Exit(1)
+		}
+		if rep.Trace != nil {
+			log.Printf("traces written to %s: %d traces (%d spans), %d stitched gateway+cloud, %d replayed, %d orphan spans",
+				*traceOut, rep.Trace.Traces, rep.Trace.Spans, rep.Trace.Stitched, rep.Trace.Replayed, rep.Trace.Orphans)
+		}
+	}
 
 	log.Printf("decoded %d segments (%d frames) in %.0f ms: throughput %.1f segs/s, capacity %.1f segs/s, latency p50=%.0fms p95=%.0fms",
 		rep.SegmentsDecoded, rep.FramesReported, rep.DurationMillis, rep.Throughput, rep.Capacity, rep.Latency.P50, rep.Latency.P95)
@@ -179,6 +207,17 @@ func main() {
 	}
 	if rep.FinalSessions != 0 {
 		fail("%d sessions still registered after the fleet exited", rep.FinalSessions)
+	}
+	if rep.Trace != nil {
+		// Trace continuity is an invariant too: every span's parent must
+		// have been assembled into the same trace, and the wire-propagated
+		// context must have stitched at least one gateway+cloud pair.
+		if rep.Trace.Orphans != 0 {
+			fail("%d orphan spans (parent never assembled)", rep.Trace.Orphans)
+		}
+		if rep.Trace.Stitched == 0 {
+			fail("no trace carries both gateway and cloud spans")
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -76,11 +76,17 @@ func run() int {
 	reg := galiot.NewObsRegistry()
 	tracer := galiot.NewObsTracer(0)
 	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
+	tracer.SetSite(fmt.Sprintf("gw-%d", *seed))
 	journal := galiot.NewObsJournal(0)
 	journal.SetClock(func() int64 { return time.Now().UnixNano() })
 	health := galiot.NewObsHealth()
+	// Gateway-side halves of the distributed traces: spans land here with
+	// the same trace IDs the segments carry onto the wire, so this
+	// process's /trace/tree and the cloud's show the two sides of one ID.
+	traces := galiot.NewObsTraceStore(galiot.ObsTraceStoreConfig{Obs: reg, Journal: journal})
+	tracer.SetSink(traces.Ingest)
 	if *obsAddr != "" {
-		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer, Journal: journal, Health: health}
+		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer, Journal: journal, Health: health, Traces: traces}
 		if err := obsSrv.Start(*obsAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "galiot-gateway: obs server:", err)
 			return 1

@@ -196,7 +196,13 @@ func render(v *view, maxEvents int, base string) string {
 		fmt.Fprintf(&w, "histograms:\n")
 		for _, name := range sortedKeys(v.Fleet.Histograms) {
 			h := v.Fleet.Histograms[name]
-			fmt.Fprintf(&w, "  %-44s count=%-10d p50=%-8d p99=%d\n", name, h.Count, h.P50, h.P99)
+			fmt.Fprintf(&w, "  %-44s count=%-10d p50=%-8d p99=%d", name, h.Count, h.P50, h.P99)
+			if h.Exemplar != nil {
+				// The high-watermark observation's trace: feed it to
+				// galiot-trace -id to see where the time went.
+				fmt.Fprintf(&w, "  ex=%d trace=0x%016x", h.Exemplar.Value, h.Exemplar.TraceID)
+			}
+			fmt.Fprintf(&w, "\n")
 		}
 	}
 

@@ -40,12 +40,17 @@ func main() {
 
 	techs := galiot.Technologies()
 
-	// One registry + tracer for both halves of the pipeline.
+	// One registry + tracer for both halves of the pipeline; the trace
+	// store stitches the gateway-side and cloud-side spans of each segment
+	// into one tree behind /trace/tree and /trace/slowest.
 	reg := galiot.NewObsRegistry()
 	tracer := galiot.NewObsTracer(0)
 	tracer.SetClock(func() int64 { return time.Now().UnixNano() })
+	tracer.SetSite("example")
+	traces := galiot.NewObsTraceStore(galiot.ObsTraceStoreConfig{Obs: reg})
+	tracer.SetSink(traces.Ingest)
 	if *obsAddr != "" {
-		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer}
+		obsSrv := &galiot.ObsServer{Registry: reg, Tracer: tracer, Traces: traces}
 		if err := obsSrv.Start(*obsAddr); err != nil {
 			log.Fatal(err)
 		}

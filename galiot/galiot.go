@@ -138,6 +138,19 @@ type (
 	// ObsCheckResult is one health check's verdict (what a CheckFunc
 	// returns; see obs.Healthy / obs.Unhealthy for constructors).
 	ObsCheckResult = obs.CheckResult
+	// ObsTraceStore assembles finished spans from any number of tracers
+	// (local or remote processes) into per-trace trees with tail-based
+	// retention; serve it through ObsServer at /trace/tree and
+	// /trace/slowest.
+	ObsTraceStore = obs.TraceStore
+	// ObsTraceStoreConfig sizes an ObsTraceStore (capacity, sampling,
+	// slow-trace threshold).
+	ObsTraceStoreConfig = obs.TraceStoreConfig
+	// ObsTraceTree is one assembled trace: its spans, duration, orphan
+	// count and critical path.
+	ObsTraceTree = obs.TraceTree
+	// ObsSpanSnapshot is one finished span as recorded by a tracer.
+	ObsSpanSnapshot = obs.SpanSnapshot
 	// ObsFleet scrapes N metric endpoints or registries and merges them
 	// into a fleet-wide rollup (served at /fleet/metrics).
 	ObsFleet = obs.Fleet
@@ -275,6 +288,18 @@ func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 // wall-clock nanosecond source; the default clock is a deterministic step
 // counter suited to simulations and tests.
 func NewObsTracer(ringSize int) *ObsTracer { return obs.NewTracer(ringSize) }
+
+// NewObsTraceStore builds a trace-assembly store; SetSink the tracers that
+// should feed it with store.Ingest. A zero config gets the documented
+// defaults (512 traces retained, 1-in-16 head sampling plus every
+// anomalous trace).
+func NewObsTraceStore(cfg ObsTraceStoreConfig) *ObsTraceStore {
+	return obs.NewTraceStore(cfg)
+}
+
+// ParseTraceID parses a trace ID in decimal or 0x-hex form (the formats
+// the /trace/tree route and galiot-trace accept).
+func ParseTraceID(s string) (uint64, error) { return obs.ParseTraceID(s) }
 
 // NewObsJournal builds an event journal keeping the most recent ringSize
 // events (0 = default). Like the tracer, its default clock is a

@@ -68,6 +68,25 @@ func badWAL(r *obs.Registry, j *obs.Journal, h *obs.Health) {
 	h.Register("wal_ok", nil)          // want "health check name \\\"wal_ok\\\" does not follow subsystem_subject_condition"
 }
 
+// Tracing vocabulary: the trace_* metric and event names added with the
+// distributed-tracing plane must lint clean, and the obvious misnamings
+// must not.
+func goodTrace(r *obs.Registry, j *obs.Journal) {
+	_ = r.Counter("trace_spans_ingested_total")
+	_ = r.Gauge("trace_traces_retained_count")
+	_ = r.Counter("trace_traces_evicted_total")
+	_ = r.Counter("trace_traces_sampled_total")
+	j.Record("trace_entry_sample", 1)
+	j.Record("trace_entry_evict", 1)
+}
+
+func badTrace(r *obs.Registry, j *obs.Journal) {
+	_ = r.Counter("trace_spans_ingested") // want "metric name \\\"trace_spans_ingested\\\" does not follow subsystem_name_unit"
+	_ = r.Gauge("trace_retained")         // want "metric name \\\"trace_retained\\\" does not follow subsystem_name_unit"
+	j.Record("trace_entry_sampled", 1)    // want "event name \\\"trace_entry_sampled\\\" does not follow subsystem_subject_verb"
+	j.Record("trace_entry_evicted", 1)    // want "event name \\\"trace_entry_evicted\\\" does not follow subsystem_subject_verb"
+}
+
 // Dynamic names cannot be checked statically; the registries validate them
 // at runtime instead.
 func dynamic(r *obs.Registry, j *obs.Journal, tech string) {

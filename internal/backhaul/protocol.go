@@ -5,12 +5,18 @@
 //
 // Framing: every message is [type:1][length:4 big-endian][payload]. Control
 // messages (hello, frames) are JSON; segment payloads are binary:
-// [startSample:8][sampleRate:8][scale:8][format:1][flags:1][data...][crc32:4?].
+// [startSample:8][sampleRate:8][scale:8][format:1][flags:1][trace:8? parent:8?][data...][crc32:4?].
 // The flags byte is a bitmask: bit 0 marks DEFLATE-compressed data, bit 1
 // marks a trailing IEEE CRC-32 over everything before it, so corruption on
 // the wire is detected at decode time instead of silently producing garbage
 // I/Q (the resilience layer relies on this: a corrupted segment fails loudly,
 // the session dies, and the reconnecting gateway replays it — see DESIGN.md §11).
+// Bit 2 (protocol v3) marks a 16-byte trace-context extension between the
+// fixed header and the sample data: the trace ID minted when the segment
+// was detected and the span ID of the gateway span that shipped it, so the
+// cloud's spans stitch under the gateway's in one cross-process trace
+// (DESIGN.md §16). Gateways only set the bit on sessions that negotiated
+// v3; a segment without trace context encodes byte-identically to v2.
 // The scale field records the per-segment gain applied before quantization
 // (digital AGC): samples are normalized so the peak rail sits just below
 // full scale, exactly as an SDR gain stage would, and the receiver undoes
@@ -51,9 +57,12 @@ const (
 // Version is the current (newest) protocol version. MinVersion is the
 // oldest version the cloud still serves: v1 gateways get the original
 // synchronous ship/reply exchange, v2 gateways get sequence-numbered
-// segments, pipelining and busy rejects.
+// segments, pipelining and busy rejects, v3 sessions may additionally
+// carry per-segment trace context (the flagTrace extension). v3 changes
+// no framing — it only licenses the extension — so v1/v2 peers are
+// byte-compatibly unaffected.
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -140,6 +149,12 @@ type Segment struct {
 	Start      int64
 	SampleRate float64
 	Samples    []complex128
+	// Trace is the wire-propagated trace ID minted when the segment was
+	// detected; Parent is the span ID of the gateway span that shipped it.
+	// Both ride the flagTrace extension on v3 sessions and are zero
+	// otherwise — a zero Trace encodes byte-identically to protocol v2.
+	Trace  uint64
+	Parent uint64
 }
 
 // ConnMetrics counts a Conn's message and byte flow in both directions.
@@ -278,7 +293,11 @@ func NewCodecMetrics(r *obs.Registry) *CodecMetrics {
 const (
 	flagFlate = 1 << 0
 	flagCRC   = 1 << 1
+	flagTrace = 1 << 2 // v3: 16-byte [trace:8][parent:8] extension follows the header
 )
+
+// traceExtSize is the flagTrace extension length.
+const traceExtSize = 16
 
 // DefaultCodec is what the paper's gateway effectively ships: 8-bit
 // quantized samples, compressed, with an integrity trailer.
@@ -335,16 +354,25 @@ func (sc SegmentCodec) Encode(seg Segment) ([]byte, error) {
 		flag |= flagCRC
 		trailer = 4
 	}
-	out := make([]byte, 26+len(raw)+trailer)
+	ext := 0
+	if seg.Trace != 0 {
+		flag |= flagTrace
+		ext = traceExtSize
+	}
+	out := make([]byte, 26+ext+len(raw)+trailer)
 	binary.BigEndian.PutUint64(out[0:], uint64(seg.Start))
 	binary.BigEndian.PutUint64(out[8:], math.Float64bits(seg.SampleRate))
 	binary.BigEndian.PutUint64(out[16:], math.Float64bits(scale))
 	out[24] = byte(sc.Format)
 	out[25] = flag
-	copy(out[26:], raw)
+	if ext != 0 {
+		binary.BigEndian.PutUint64(out[26:], seg.Trace)
+		binary.BigEndian.PutUint64(out[34:], seg.Parent)
+	}
+	copy(out[26+ext:], raw)
 	if sc.Checksum {
-		sum := crc32.ChecksumIEEE(out[:26+len(raw)])
-		binary.BigEndian.PutUint32(out[26+len(raw):], sum)
+		sum := crc32.ChecksumIEEE(out[:26+ext+len(raw)])
+		binary.BigEndian.PutUint32(out[26+ext+len(raw):], sum)
 	}
 	if m := sc.Metrics; m != nil {
 		m.Segments.Inc()
@@ -360,7 +388,7 @@ func DecodeSegment(payload []byte) (Segment, error) {
 		return Segment{}, fmt.Errorf("backhaul: segment payload too short")
 	}
 	flags := payload[25]
-	if flags&^(flagFlate|flagCRC) != 0 {
+	if flags&^(flagFlate|flagCRC|flagTrace) != 0 {
 		return Segment{}, fmt.Errorf("backhaul: unknown segment flags %#02x", flags)
 	}
 	if flags&flagCRC != 0 {
@@ -382,7 +410,16 @@ func DecodeSegment(payload []byte) (Segment, error) {
 	}
 	format := iq.Format(payload[24])
 	compressed := flags&flagFlate != 0
+	var trace, parent uint64
 	data := payload[26:]
+	if flags&flagTrace != 0 {
+		if len(data) < traceExtSize {
+			return Segment{}, fmt.Errorf("backhaul: segment payload too short for trace context")
+		}
+		trace = binary.BigEndian.Uint64(data[0:])
+		parent = binary.BigEndian.Uint64(data[8:])
+		data = data[traceExtSize:]
+	}
 	if compressed {
 		r := flate.NewReader(bytes.NewReader(data))
 		defer r.Close()
@@ -400,7 +437,7 @@ func DecodeSegment(payload []byte) (Segment, error) {
 	for i, v := range samples {
 		samples[i] = complex(real(v)*inv, imag(v)*inv)
 	}
-	return Segment{Start: start, SampleRate: rate, Samples: samples}, nil
+	return Segment{Start: start, SampleRate: rate, Samples: samples, Trace: trace, Parent: parent}, nil
 }
 
 // SendSegment encodes and writes a segment.

@@ -196,7 +196,8 @@ func TestNegotiate(t *testing.T) {
 		{0, 0, false},
 		{1, 1, true},
 		{2, 2, true},
-		{3, 0, false},
+		{3, 3, true},
+		{4, 0, false},
 		{99, 0, false},
 		{-1, 0, false},
 	} {
@@ -366,6 +367,68 @@ func TestSegmentUnknownFlagsRejected(t *testing.T) {
 	payload[25] |= 0x80
 	if _, err := DecodeSegment(payload); err == nil {
 		t.Fatal("unknown flag bits should be rejected")
+	}
+}
+
+func TestSegmentTraceContextRoundTrip(t *testing.T) {
+	gen := rng.New(5)
+	samples := make([]complex128, 1500)
+	for i := range samples {
+		samples[i] = complex(gen.NormFloat64()*0.2, gen.NormFloat64()*0.2)
+	}
+	for _, sc := range []SegmentCodec{
+		{Format: iq.CU8},
+		{Format: iq.CU8, Compress: true},
+		{Format: iq.CU8, Compress: true, Checksum: true},
+		{Format: iq.CS16, Checksum: true},
+	} {
+		seg := Segment{Start: 555, SampleRate: 1e6, Samples: samples, Trace: 0xCAFEF00DBEEF1234, Parent: 0x42}
+		payload, err := sc.Encode(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload[25]&(1<<2) == 0 {
+			t.Fatalf("%v: trace flag bit not set", sc)
+		}
+		got, err := DecodeSegment(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Trace != seg.Trace || got.Parent != seg.Parent {
+			t.Fatalf("%v: trace context lost: %#x/%#x", sc, got.Trace, got.Parent)
+		}
+		if got.Start != 555 || len(got.Samples) != 1500 {
+			t.Fatalf("%v: segment body damaged: %d/%d", sc, got.Start, len(got.Samples))
+		}
+	}
+}
+
+func TestSegmentNoTraceBytesIdenticalToV2(t *testing.T) {
+	// A zero Trace must not change the encoding at all: v1/v2 peers that
+	// reject unknown flag bits keep working, and WAL files written before
+	// v3 replay unchanged.
+	gen := rng.New(6)
+	samples := make([]complex128, 800)
+	for i := range samples {
+		samples[i] = complex(gen.NormFloat64()*0.2, gen.NormFloat64()*0.2)
+	}
+	plain, err := DefaultCodec.Encode(Segment{Start: 9, SampleRate: 1e6, Samples: samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[25]&(1<<2) != 0 {
+		t.Fatal("trace flag set on a traceless segment")
+	}
+	traced, err := DefaultCodec.Encode(Segment{Start: 9, SampleRate: 1e6, Samples: samples, Trace: 77, Parent: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain)+16 {
+		t.Fatalf("trace extension should add exactly 16 bytes: %d vs %d", len(traced), len(plain))
+	}
+	got, err := DecodeSegment(plain)
+	if err != nil || got.Trace != 0 || got.Parent != 0 {
+		t.Fatalf("traceless decode: %v trace=%d parent=%d", err, got.Trace, got.Parent)
 	}
 }
 

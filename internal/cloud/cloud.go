@@ -390,10 +390,16 @@ func (s *Service) ServeHello(conn *backhaul.Conn, hello backhaul.Hello, hint bac
 // attached, otherwise farm admission with per-version overload behavior
 // (v1 blocks for backpressure, v2 rejects with MsgBusy).
 func (ss *session) handleSegment(f *farm.Farm, seq uint64, sequenced bool, seg backhaul.Segment) error {
-	// The cloud-side span shares its trace ID with the gateway-side span of
-	// the same segment (both derive it from the segment's absolute start),
-	// so /trace/recent shows one merged detect→decode trace.
-	sp := ss.svc.tracer.Start("cloud-segment", obs.SegmentTraceID(seg.Start))
+	// The cloud-side span joins the trace the gateway minted: a v3 segment
+	// carries its trace ID and the shipping span's ID in the wire trace
+	// context, so this span stitches under the gateway's as a true child.
+	// Pre-v3 segments (no context) fall back to the implicit correlation by
+	// absolute start sample, exactly as before.
+	traceID, parent := seg.Trace, seg.Parent
+	if traceID == 0 {
+		traceID = obs.SegmentTraceID(seg.Start)
+	}
+	sp := ss.svc.tracer.StartChild("cloud-segment", traceID, parent)
 	ctx := obs.ContextWithSpan(ss.ctx, sp)
 	if ss.dedup != nil {
 		if rep, ok := ss.dedup.get(seg.Start); ok {

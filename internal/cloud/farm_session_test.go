@@ -85,7 +85,7 @@ func TestFarmPipelinedSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ack.Version != 2 || ack.Window != 8 || ack.Workers != 2 {
+	if ack.Version != backhaul.Version || ack.Window != 8 || ack.Workers != 2 {
 		t.Fatalf("hello ack %+v", ack)
 	}
 

@@ -253,9 +253,14 @@ func (f *Farm) run() {
 		f.mu.Unlock()
 		f.queuedG.Add(-1)
 		f.inFlightG.Add(1)
-		f.waitH.Observe(wait)
+		// The queue-wait observation carries the segment's trace ID as an
+		// exemplar: a p99 spike on farm_queue_wait_samples links straight to
+		// the trace tree of the segment that set the high watermark.
 		if sp := obs.SpanFromContext(j.ctx); sp != nil {
+			f.waitH.ObserveExemplar(wait, sp.TraceID())
 			sp.Stage("farm_queue", wait, float64(len(j.seg.Samples)))
+		} else {
+			f.waitH.Observe(wait)
 		}
 		f.space.Signal()
 

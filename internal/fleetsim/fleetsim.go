@@ -24,6 +24,7 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -98,6 +99,13 @@ type Config struct {
 	// a live obs.Fleet so -obs-addr serves /fleet/metrics during the run.
 	// Nil skips the callback.
 	OnPlane func(targets []obs.Target)
+	// Traces, when set, traces the whole run end to end: every gateway
+	// shares one site="gateway" tracer, the decode plane gets a
+	// site="cloud" tracer, and both sink their finished spans into this
+	// store, where the wire-propagated trace IDs stitch each segment's
+	// gateway and cloud spans into one tree. Report.Trace summarizes the
+	// assembled traces. Nil runs untraced.
+	Traces *obs.TraceStore
 }
 
 // withDefaults validates the config and fills zero fields in, returning
@@ -266,6 +274,21 @@ type Report struct {
 	// and every shard farm's private registry, collected after the drain:
 	// the same view /fleet/metrics serves live, frozen into the report.
 	Rollup *obs.FleetSnapshot `json:"rollup,omitempty"`
+
+	// Trace summarizes the run's assembled trace trees when Config.Traces
+	// was set.
+	Trace *TraceStats `json:"trace,omitempty"`
+}
+
+// TraceStats reduces the run's TraceStore to the numbers the fleet soak
+// gates on: every retained trace should be fully stitched (zero orphans)
+// and at least one should span both processes.
+type TraceStats struct {
+	Traces   int `json:"traces"`   // retained traces
+	Spans    int `json:"spans"`    // spans across those traces
+	Orphans  int `json:"orphans"`  // spans whose parent never arrived
+	Replayed int `json:"replayed"` // traces carrying a replay/wal_replay stage
+	Stitched int `json:"stitched"` // traces with spans from both sites
 }
 
 // decodeProbe wraps every shard's decode function: it counts invocations
@@ -364,6 +387,21 @@ func Run(cfg Config, wl *Workload) (*Report, error) {
 		shardFirst: make([]int64, cfg.Shards),
 		shardLast:  make([]int64, cfg.Shards),
 	}
+	// One tracer per process role: the whole fleet shares the gateway-side
+	// tracer (spans are site-salted per gateway ID at mint time, so sharing
+	// the tracer only shares the ring) and the plane gets its own. Both
+	// sink into the shared store, which is what stitches the two sides.
+	var gwTracer, cloudTracer *obs.Tracer
+	if cfg.Traces != nil {
+		gwTracer = obs.NewTracer(0)
+		gwTracer.SetClock(cfg.Clock)
+		gwTracer.SetSite("gateway")
+		gwTracer.SetSink(cfg.Traces.Ingest)
+		cloudTracer = obs.NewTracer(0)
+		cloudTracer.SetClock(cfg.Clock)
+		cloudTracer.SetSite("cloud")
+		cloudTracer.SetSink(cfg.Traces.Ingest)
+	}
 	front, err := fleet.New(fleet.Config{
 		Shards:     cfg.Shards,
 		Workers:    cfg.Workers,
@@ -374,6 +412,7 @@ func Run(cfg Config, wl *Workload) (*Report, error) {
 		Logf:       cfg.Logf,
 		Journal:    cfg.Journal,
 		Health:     cfg.Health,
+		Tracer:     cloudTracer,
 	})
 	if err != nil {
 		return nil, err
@@ -401,6 +440,7 @@ func Run(cfg Config, wl *Workload) (*Report, error) {
 			Techs:    cfg.Techs,
 			Frontend: frontend.Ideal(wl.SampleRate),
 			Window:   cfg.Window,
+			Tracer:   gwTracer,
 		})
 		if err != nil {
 			_ = ln.Close()
@@ -560,7 +600,38 @@ func Run(cfg Config, wl *Workload) (*Report, error) {
 		rep.Rejected += st.Farm.Rejected
 		rep.PerShard = append(rep.PerShard, sr)
 	}
+	if cfg.Traces != nil {
+		rep.Trace = traceStats(cfg.Traces)
+	}
 	return rep, nil
+}
+
+// traceStats reduces the store's assembled trees to the report summary.
+// A trace is stitched when spans from both the gateway-side tracer and
+// the plane's tracer landed on the same wire-propagated trace ID.
+func traceStats(store *obs.TraceStore) *TraceStats {
+	st := &TraceStats{}
+	for _, tree := range store.Trees() {
+		st.Traces++
+		st.Spans += len(tree.Spans)
+		st.Orphans += tree.Orphans
+		if tree.Replayed {
+			st.Replayed++
+		}
+		var gw, cl bool
+		for _, sp := range tree.Spans {
+			switch {
+			case strings.HasPrefix(sp.Kind, "gateway"):
+				gw = true
+			case strings.HasPrefix(sp.Kind, "cloud"):
+				cl = true
+			}
+		}
+		if gw && cl {
+			st.Stitched++
+		}
+	}
+	return st
 }
 
 // runOneGateway drives one real resilient gateway session over loopback

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -27,14 +28,29 @@ import (
 // service, and the reports the gateway delivered.
 const chaosSegments = 8
 
-func chaosRun(t *testing.T, sched *faults.Schedule, epoch uint64, j *obs.Journal) (*Gateway, *cloud.Service, []backhaul.FramesReport) {
+// chaosTracers wires a gateway-side and a cloud-side tracer (distinct
+// sites, as two processes would have) into one shared trace store — the
+// same assembly galiot-fleet does across real process boundaries.
+func chaosTracers(store *obs.TraceStore, gwSite string) (*obs.Tracer, *obs.Tracer) {
+	gw := obs.NewTracer(0)
+	gw.SetSite(gwSite)
+	gw.SetSink(store.Ingest)
+	cl := obs.NewTracer(0)
+	cl.SetSite("cloud")
+	cl.SetSink(store.Ingest)
+	return gw, cl
+}
+
+func chaosRun(t *testing.T, sched *faults.Schedule, epoch uint64, j *obs.Journal, store *obs.TraceStore) (*Gateway, *cloud.Service, []backhaul.FramesReport) {
 	t.Helper()
 	ts := resTechs()
-	g, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4, Journal: j})
+	gwTracer, cloudTracer := chaosTracers(store, "gateway")
+	g, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4, Journal: j, Tracer: gwTracer})
 	if err != nil {
 		t.Fatal(err)
 	}
 	svc := cloud.NewService(ts)
+	svc.UseObs(nil, cloudTracer)
 	svc.StartFarm(farm.Config{Workers: 2, QueueDepth: 8})
 	defer svc.Close()
 
@@ -79,6 +95,57 @@ func chaosRun(t *testing.T, sched *faults.Schedule, epoch uint64, j *obs.Journal
 	return g, svc, reports
 }
 
+// traceLedger reduces an assembled trace store to the numbers the soaks
+// assert on: how many traces were stitched across the gateway/cloud
+// boundary, how many carry replay evidence, and whether any span's parent
+// failed to assemble.
+type traceLedger struct {
+	traces     int // assembled traces in the store
+	stitched   int // traces with both gateway-side and cloud-side spans
+	replays    int // traces carrying a "replay" stage (in-session re-send)
+	walReplays int // traces carrying a "wal_replay" stage (post-restart re-send)
+	orphans    int // spans whose parent never assembled into their trace
+	unparented int // cloud spans that arrived without a wire-propagated parent
+}
+
+func traceAudit(store *obs.TraceStore) traceLedger {
+	var l traceLedger
+	for _, tree := range store.Trees() {
+		l.traces++
+		l.orphans += tree.Orphans
+		var gw, cl, replay, walReplay bool
+		for _, sp := range tree.Spans {
+			switch {
+			case strings.HasPrefix(sp.Kind, "gateway"):
+				gw = true
+			case strings.HasPrefix(sp.Kind, "cloud"):
+				cl = true
+				if sp.Parent == 0 {
+					l.unparented++
+				}
+			}
+			for _, st := range sp.Stages {
+				switch st.Name {
+				case "replay":
+					replay = true
+				case "wal_replay":
+					walReplay = true
+				}
+			}
+		}
+		if gw && cl {
+			l.stitched++
+		}
+		if replay {
+			l.replays++
+		}
+		if walReplay {
+			l.walReplays++
+		}
+	}
+	return l
+}
+
 // payloadSet flattens the CRC-clean frame payloads of a run, sorted.
 func payloadSet(reports []backhaul.FramesReport) []string {
 	var out []string
@@ -103,7 +170,8 @@ func TestChaosSoak(t *testing.T) {
 	// Control: no faults — zero reconnects, zero drops, every segment
 	// decoded exactly once.
 	j0 := obs.NewJournal(obs.DefaultJournalRing)
-	g0, svc0, rep0 := chaosRun(t, nil, 3, j0)
+	store0 := obs.NewTraceStore(obs.TraceStoreConfig{SampleEvery: 1})
+	g0, svc0, rep0 := chaosRun(t, nil, 3, j0, store0)
 	if got := counter(t, g0, "gateway_reconnects_total"); got != 0 {
 		t.Fatalf("control reconnects = %d, want 0", got)
 	}
@@ -124,6 +192,23 @@ func TestChaosSoak(t *testing.T) {
 	if evs := j0.Recent(); len(evs) != 1 || evs[0].Name != "gateway_session_establish" {
 		t.Fatalf("control journal = %+v, want exactly one establish", evs)
 	}
+	// Trace continuity, fault-free: every decoded segment assembled into
+	// one trace whose gateway and cloud spans share the wire-propagated
+	// trace ID — no orphans, no replays, every cloud span parented from the
+	// wire. The single session span forms its own (unstitched) trace.
+	l0 := traceAudit(store0)
+	if l0.stitched != chaosSegments {
+		t.Fatalf("control stitched traces = %d, want %d", l0.stitched, chaosSegments)
+	}
+	if l0.traces != chaosSegments+1 {
+		t.Fatalf("control traces = %d, want %d segments + 1 session", l0.traces, chaosSegments+1)
+	}
+	if l0.orphans != 0 || l0.unparented != 0 {
+		t.Fatalf("control orphans = %d, unparented cloud spans = %d, want 0/0", l0.orphans, l0.unparented)
+	}
+	if l0.replays != 0 || l0.walReplays != 0 {
+		t.Fatalf("control replay traces = %d/%d, want 0/0", l0.replays, l0.walReplays)
+	}
 
 	// Chaos: six consecutive connections die mid-frame (one corrupted
 	// first), starting past the hello so every session establishes.
@@ -132,7 +217,8 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("schedule kills %d connections, want 6", sched.Faulty())
 	}
 	j1 := obs.NewJournal(obs.DefaultJournalRing)
-	g1, svc1, rep1 := chaosRun(t, &sched, 4, j1)
+	store1 := obs.NewTraceStore(obs.TraceStoreConfig{SampleEvery: 1})
+	g1, svc1, rep1 := chaosRun(t, &sched, 4, j1, store1)
 
 	if got, want := counter(t, g1, "gateway_reconnects_total"), uint64(sched.Faulty()); got != want {
 		t.Fatalf("chaos reconnects = %d, want %d (one per scheduled kill)", got, want)
@@ -165,6 +251,29 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if st := g1.Stats(); st.SegmentsShipped != chaosSegments {
 		t.Fatalf("chaos shipped = %d, want %d", st.SegmentsShipped, chaosSegments)
+	}
+
+	// Trace continuity under faults: the kills cost no trace identity.
+	// Every decoded segment still assembles into one gateway+cloud trace,
+	// the one replayed segment carries its replay stage on the SAME trace
+	// it was detected on (the wire re-propagated the original context),
+	// and no span anywhere lost its parent. Each of the seven sessions
+	// contributes its own session-only trace.
+	l1 := traceAudit(store1)
+	if l1.stitched != chaosSegments {
+		t.Fatalf("chaos stitched traces = %d, want %d", l1.stitched, chaosSegments)
+	}
+	if want := chaosSegments + sched.Faulty() + 1; l1.traces != want {
+		t.Fatalf("chaos traces = %d, want %d segments + %d sessions", l1.traces, want, sched.Faulty()+1)
+	}
+	if l1.orphans != 0 || l1.unparented != 0 {
+		t.Fatalf("chaos orphans = %d, unparented cloud spans = %d, want 0/0", l1.orphans, l1.unparented)
+	}
+	if l1.replays != 1 {
+		t.Fatalf("chaos replay traces = %d, want 1 (the re-shipped oldest segment)", l1.replays)
+	}
+	if l1.walReplays != 0 {
+		t.Fatalf("chaos wal_replay traces = %d, want 0 (no WAL in this soak)", l1.walReplays)
 	}
 
 	// The event journal is fully deterministic for this schedule: the first

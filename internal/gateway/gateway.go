@@ -121,6 +121,15 @@ type Gateway struct {
 	reg    *obs.Registry
 	m      metrics
 	tracer *obs.Tracer
+	idHash uint64 // SiteID(cfg.ID), the minting key for wire trace IDs
+	// traceSalt folds the session epoch into trace minting (set by
+	// RunResilient before the capture feeder starts). Restarted gateways
+	// restart their absolute sample clock, so without the salt a fresh
+	// segment could mint the trace ID a previous incarnation used for a
+	// different segment at the same Start. WAL-recovered segments never
+	// re-mint — their journaled trace ID rides in Segment.Trace — so
+	// replay identity still holds across the salt change.
+	traceSalt uint64
 }
 
 // New builds a gateway. The default detector is the universal-preamble
@@ -171,6 +180,7 @@ func New(cfg Config) (*Gateway, error) {
 		reg:       reg,
 		m:         newMetrics(reg, cfg.Techs),
 		tracer:    cfg.Tracer,
+		idHash:    obs.SiteID(cfg.ID),
 	}, nil
 }
 
@@ -232,16 +242,21 @@ func (g *Gateway) Flush() Result {
 }
 
 // handle routes completed segments through edge decode or shipping. Each
-// segment opens a trace span keyed by its absolute start sample; spans of
-// edge-resolved segments end here, spans of shipped segments travel with
-// Result and end when the bytes go out. detectDur is the detection cost of
-// the capture that completed these segments (charged to every segment it
-// produced — detection is a per-capture pass, not per-segment).
+// segment opens a trace span whose trace ID is minted here, at detect
+// time, from the gateway's ID hash, the session epoch salt and the
+// segment's absolute start sample (obs.MintTraceID) — deterministic
+// within a process lifetime, distinct across restarts. A WAL-recovered
+// segment keeps the identity it was journaled with. Spans of edge-resolved
+// segments end here; spans of shipped segments travel with Result, and
+// the segment carries the trace ID plus this span's ID as its wire trace
+// context. detectDur is the detection cost of the capture that completed
+// these segments (charged to every segment it produced — detection is a
+// per-capture pass, not per-segment).
 func (g *Gateway) handle(segments []detect.StreamSegment, detectDur int64) Result {
 	fs := g.cfg.Frontend.SampleRate()
 	var res Result
 	for _, seg := range segments {
-		sp := g.tracer.Start("gateway-segment", obs.SegmentTraceID(seg.Start))
+		sp := g.tracer.Start("gateway-segment", obs.MintTraceID(g.idHash^g.traceSalt, seg.Start))
 		sp.Stage("detect", detectDur, float64(len(seg.Samples)))
 		if g.cfg.EdgeDecode {
 			tEdge := sp.Now()
@@ -265,6 +280,8 @@ func (g *Gateway) handle(segments []detect.StreamSegment, detectDur int64) Resul
 			Start:      seg.Start,
 			SampleRate: fs,
 			Samples:    seg.Samples,
+			Trace:      sp.TraceID(),
+			Parent:     sp.SpanID(),
 		})
 		res.Spans = append(res.Spans, sp)
 	}
@@ -346,9 +363,12 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 	if auto {
 		window = DefaultWindow
 	}
+	negotiated := version
 	if version >= 2 {
 		// The hello ack closes negotiation; the cloud may shrink the window
-		// to what its admission queue is willing to hold.
+		// to what its admission queue is willing to hold, and its version is
+		// the one the session actually speaks — a v2 cloud answering a v3
+		// hello pins the session to v2, which gates the trace extension off.
 		typ, payload, err := conn.ReadMessage()
 		if err != nil {
 			return err
@@ -359,6 +379,9 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 		ack, err := backhaul.ParseHelloAck(payload)
 		if err != nil {
 			return fmt.Errorf("gateway: bad hello ack: %w", err)
+		}
+		if ack.Version > 0 && ack.Version < negotiated {
+			negotiated = ack.Version
 		}
 		window = scaleWindow(auto, window, ack)
 	}
@@ -407,6 +430,11 @@ func (g *Gateway) Run(rw io.ReadWriter, captures <-chan []complex128, reports fu
 			var sp *obs.Span
 			if i < len(res.Spans) {
 				sp = res.Spans[i]
+			}
+			if negotiated < 3 {
+				// Pre-v3 peers reject the trace flag bit; strip the context
+				// (seg is a loop copy, the queued segment keeps its identity).
+				seg.Trace, seg.Parent = 0, 0
 			}
 			var n int
 			var err error

@@ -248,6 +248,10 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 	if rc.Epoch == 0 {
 		rc.Epoch = 1
 	}
+	// Salt this lifetime's trace IDs with the epoch before the capture
+	// feeder can mint any (the feeder goroutine starts below, so this
+	// write happens-before every handle call).
+	g.traceSalt = obs.MintTraceID(rc.Epoch, 0)
 	if rc.SpoolCapacity <= 0 {
 		rc.SpoolCapacity = DefaultSpoolCapacity
 	}
@@ -300,9 +304,12 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 		// Recovered entries are requeued ahead of fresh traffic, oldest
 		// first, with sent=false: this process never shipped them, so their
 		// first ship is not a same-session replay — wal_records_replayed_total
-		// already accounts for the restart replay.
+		// already accounts for the restart replay. Recovered marks them so
+		// the sender re-opens a wal_replay span on each segment's original
+		// trace (the trace context journaled with the segment survives the
+		// crash byte-for-byte).
 		for _, e := range recovered {
-			r.pending = append(r.pending, carried{it: resilience.Item{Seg: e.Seg, WAL: e.ID}})
+			r.pending = append(r.pending, carried{it: resilience.Item{Seg: e.Seg, WAL: e.ID, Recovered: true}})
 		}
 		r.spool, r.wal = resilience.NewDurableSpool(rc.SpoolCapacity, wlog), wlog
 	} else {
@@ -451,7 +458,10 @@ func (g *Gateway) RunResilient(rc Resilient, captures <-chan []complex128, repor
 func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error) {
 	g := r.g
 	defer rwc.Close()
-	sp := g.tracer.Start("gateway-session", uint64(r.sessions)+1)
+	// Session spans get their own trace, minted from the gateway ID and
+	// session ordinal under a salt that cannot collide with segment traces,
+	// so per-gateway session timelines stay distinct fleet-wide.
+	sp := g.tracer.Start("gateway-session", obs.MintTraceID(g.idHash^obs.SiteID("session"), int64(r.sessions)+1))
 	defer sp.End()
 	conn := backhaul.NewConn(resilience.WithDeadlines(rwc, r.rc.ReadTimeout, r.rc.WriteTimeout))
 	conn.SetMetrics(backhaul.NewConnMetrics(g.reg))
@@ -468,6 +478,13 @@ func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error
 	ack, err := backhaul.ParseHelloAck(payload)
 	if err != nil {
 		return false, fmt.Errorf("gateway: bad hello ack: %w", err)
+	}
+	// The ack's version is what this session actually speaks; renegotiated
+	// every redial because a flap may land on an older cloud. Below v3 the
+	// trace extension is stripped before segments hit the wire.
+	negotiated := r.hello.Version
+	if ack.Version > 0 && ack.Version < negotiated {
+		negotiated = ack.Version
 	}
 	// Window sizing is re-derived every session: a redial may land on a
 	// plane whose shard count or admission bounds changed.
@@ -593,9 +610,44 @@ func (r *resilientRun) session(rwc io.ReadWriteCloser) (finished bool, err error
 	}
 	sendItem := func(c carried) error {
 		itsp := c.it.Span
+		ephemeral := false
+		if itsp == nil && c.it.Seg.Trace != 0 && (c.sent || c.it.Recovered) {
+			// The segment's original span closed with an earlier ship (or
+			// died with a previous process), but the segment still carries
+			// its minted trace ID: open a short replay span on that same
+			// trace and re-parent the wire context to it, so the cloud-side
+			// span of this shipment stitches under a span that exists.
+			itsp = g.tracer.Start("gateway-replay", c.it.Seg.Trace)
+			ephemeral = itsp != nil
+			stage := "replay"
+			if c.it.Recovered {
+				stage = "wal_replay"
+			}
+			itsp.Stage(stage, 0, float64(len(c.it.Seg.Samples)))
+			if ephemeral {
+				c.it.Seg.Parent = itsp.SpanID()
+			}
+		} else if c.sent {
+			// Reship of an item whose first attempt died mid-write: the
+			// span is still live, the replay lands on it.
+			itsp.Stage("replay", 0, float64(len(c.it.Seg.Samples)))
+		}
+		seg := c.it.Seg
+		if negotiated < 3 {
+			// Pre-v3 peers reject the trace flag bit (seg is a copy; the
+			// carried item keeps its identity for later sessions).
+			seg.Trace, seg.Parent = 0, 0
+		}
 		tShip := itsp.Now()
-		n, err := conn.SendSegmentSeq(g.cfg.Codec, seq, c.it.Seg)
+		n, err := conn.SendSegmentSeq(g.cfg.Codec, seq, seg)
 		if err != nil {
+			// End an ephemeral replay span even on failure: the write may
+			// have reached the cloud before the connection died, and its
+			// child span must not be orphaned. The next attempt re-parents
+			// to a fresh replay span.
+			if ephemeral {
+				itsp.End()
+			}
 			return err
 		}
 		g.m.wireBytes.Add(uint64(n))

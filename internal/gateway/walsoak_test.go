@@ -112,6 +112,9 @@ type soakCounters struct {
 	CloudDeduped    uint64 `json:"cloud_deduped_total"`
 	CloudSuperseded uint64 `json:"cloud_superseded_total"`
 	DistinctPackets int    `json:"distinct_packets"`
+	TraceStitched   int    `json:"trace_stitched"`
+	TraceWALReplays int    `json:"trace_wal_replays"`
+	TraceOrphans    int    `json:"trace_orphans"`
 }
 
 // TestWALRestartSoak SIGKILL-simulates a durably-configured gateway mid
@@ -125,7 +128,22 @@ type soakCounters struct {
 func TestWALRestartSoak(t *testing.T) {
 	ts := resTechs()
 	walDir := t.TempDir()
+	// One store assembles spans across the kill: each phase's gateway gets
+	// its own tracer site (as two incarnations of a process would), the
+	// cloud keeps one tracer across both, and the WAL carries each
+	// segment's trace ID over the restart.
+	store := obs.NewTraceStore(obs.TraceStoreConfig{SampleEvery: 1})
+	cloudTracer := obs.NewTracer(0)
+	cloudTracer.SetSite("cloud")
+	cloudTracer.SetSink(store.Ingest)
+	phaseTracer := func(site string) *obs.Tracer {
+		tr := obs.NewTracer(0)
+		tr.SetSite(site)
+		tr.SetSink(store.Ingest)
+		return tr
+	}
 	svc := cloud.NewService(ts)
+	svc.UseObs(nil, cloudTracer)
 	svc.StartFarm(farm.Config{Workers: 2, QueueDepth: 8})
 	defer svc.Close()
 	cloudCounter := func(name string) uint64 { return svc.Registry().Counter(name).Value() }
@@ -134,7 +152,7 @@ func TestWALRestartSoak(t *testing.T) {
 
 	// ---- Phase 1: admit, ship three, die mid-window. ----
 	j1 := obs.NewJournal(obs.DefaultJournalRing)
-	g1, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4, Journal: j1})
+	g1, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4, Journal: j1, Tracer: phaseTracer("gateway-p1")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +232,7 @@ func TestWALRestartSoak(t *testing.T) {
 	// ---- Phase 2: restart over the same WAL dir under a fresh epoch. ----
 	j2 := obs.NewJournal(obs.DefaultJournalRing)
 	h2 := obs.NewHealth()
-	g2, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4, Journal: j2, Health: h2})
+	g2, err := New(Config{Techs: ts, Frontend: frontend.Ideal(fs), Window: 4, Journal: j2, Health: h2, Tracer: phaseTracer("gateway-p2")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,6 +329,30 @@ func TestWALRestartSoak(t *testing.T) {
 		if !seen[p] {
 			t.Fatalf("packet %q lost across the restart", p)
 		}
+	}
+
+	// Trace continuity across the kill: every segment decoded on either
+	// side of the restart assembles into one trace stitched across the
+	// gateway/cloud boundary; each of the five WAL-recovered segments kept
+	// its original trace identity (the ID rode through the WAL and back
+	// onto the wire) and gained a wal_replay span on that same trace; no
+	// span anywhere lost its parent, and every cloud span was parented
+	// from the wire.
+	l := traceAudit(store)
+	c.TraceStitched = l.stitched
+	c.TraceWALReplays = l.walReplays
+	c.TraceOrphans = l.orphans
+	if want := soakSegments + soakFresh; l.stitched != want {
+		t.Fatalf("stitched traces = %d, want %d (one per decoded segment)", l.stitched, want)
+	}
+	if l.walReplays != replayCount {
+		t.Fatalf("wal_replay traces = %d, want %d", l.walReplays, replayCount)
+	}
+	if l.replays != 0 {
+		t.Fatalf("in-session replay traces = %d, want 0 (phase 2 never reconnects)", l.replays)
+	}
+	if l.orphans != 0 || l.unparented != 0 {
+		t.Fatalf("orphans = %d, unparented cloud spans = %d, want 0/0", l.orphans, l.unparented)
 	}
 
 	// The recovery is journaled before the session establishes, with the

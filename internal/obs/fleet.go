@@ -88,10 +88,14 @@ type AggGauge struct {
 // the merged sketch (within the documented sketch error), exact per-target
 // snapshots for drill-down.
 type AggHistogram struct {
-	Count     uint64                       `json:"count"` // observations ever, summed
-	P50       int64                        `json:"p50"`   // from the merged sketch
-	P99       int64                        `json:"p99"`   // from the merged sketch
-	Sketch    []SketchBucket               `json:"sketch,omitempty"`
+	Count  uint64         `json:"count"` // observations ever, summed
+	P50    int64          `json:"p50"`   // from the merged sketch
+	P99    int64          `json:"p99"`   // from the merged sketch
+	Sketch []SketchBucket `json:"sketch,omitempty"`
+	// Exemplar is the highest-valued exemplar across the targets: the
+	// trace ID of the observation that set the fleet-wide high watermark,
+	// the jump-off point from a p99 spike to its trace tree.
+	Exemplar  *Exemplar                    `json:"exemplar,omitempty"`
 	PerTarget map[string]HistogramSnapshot `json:"per_target"`
 }
 
@@ -250,7 +254,11 @@ func Aggregate(names []string, snaps []Snapshot) FleetSnapshot {
 		}
 		sort.Strings(tnames)
 		for _, tn := range tnames {
-			snaps = append(snaps, agg.PerTarget[tn])
+			s := agg.PerTarget[tn]
+			snaps = append(snaps, s)
+			if s.Exemplar != nil && (agg.Exemplar == nil || s.Exemplar.Value > agg.Exemplar.Value) {
+				agg.Exemplar = s.Exemplar
+			}
 		}
 		agg.Sketch = MergeSketches(snaps...)
 		hs := HistogramSnapshot{Sketch: agg.Sketch}

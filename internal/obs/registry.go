@@ -172,6 +172,15 @@ type Histogram struct {
 	window int
 	count  atomic.Uint64
 	ring   []atomic.Int64
+	ex     atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram's high-watermark observation to the trace
+// that produced it, so a dashboard can jump from a p99 bucket straight
+// to the trace tree behind it.
+type Exemplar struct {
+	Value   int64  `json:"value"`
+	TraceID uint64 `json:"trace_id"`
 }
 
 // NewHistogram builds a standalone histogram (Registry.Histogram is the
@@ -190,6 +199,34 @@ func (h *Histogram) Observe(v int64) {
 	}
 	i := h.count.Add(1) - 1
 	h.ring[i%uint64(h.window)].Store(v)
+}
+
+// ObserveExemplar records one value and, when it sets a new high
+// watermark, remembers the trace that produced it. The exemplar only
+// allocates on a new maximum — rare by construction — so the hot path
+// stays one atomic add, one store and one load.
+func (h *Histogram) ObserveExemplar(v int64, trace uint64) {
+	h.Observe(v)
+	if h == nil || trace == 0 {
+		return
+	}
+	for {
+		cur := h.ex.Load()
+		if cur != nil && v < cur.Value {
+			return
+		}
+		if h.ex.CompareAndSwap(cur, &Exemplar{Value: v, TraceID: trace}) {
+			return
+		}
+	}
+}
+
+// TakeExemplar returns the current exemplar (nil if none was ever set).
+func (h *Histogram) TakeExemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.ex.Load()
 }
 
 // SketchBucket is one occupied bucket of a histogram's log-linear
@@ -248,6 +285,9 @@ type HistogramSnapshot struct {
 	// bucket counts across targets yields fleet-level quantiles within
 	// the documented 1/16 relative error (see SketchIndex).
 	Sketch []SketchBucket `json:"sketch,omitempty"`
+	// Exemplar is the high-watermark observation's trace link, when the
+	// histogram was fed through ObserveExemplar.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // SketchPercentile returns the p-th percentile (0..100) reconstructed
@@ -315,7 +355,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
-	s := HistogramSnapshot{Count: h.count.Load(), Window: h.window}
+	s := HistogramSnapshot{Count: h.count.Load(), Window: h.window, Exemplar: h.ex.Load()}
 	n := int(s.Count)
 	if s.Count > uint64(h.window) {
 		n = h.window

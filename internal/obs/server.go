@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 )
 
@@ -14,6 +15,8 @@ import (
 //
 //	GET /metrics       registry snapshot as one JSON object
 //	GET /trace/recent  ring of recent segment traces (spans grouped by ID)
+//	GET /trace/tree    one assembled trace tree by ?id= (decimal or 0x hex)
+//	GET /trace/slowest the ?n= longest retained trace trees (default 10)
 //	GET /events/recent event-journal ring (state transitions, oldest first)
 //	GET /healthz       liveness checks; 503 when any fails
 //	GET /readyz        liveness + readiness checks; 503 when any fails
@@ -30,6 +33,8 @@ type Server struct {
 	Tracer *Tracer
 	// Journal backs /events/recent; nil serves an empty list.
 	Journal *Journal
+	// Traces backs /trace/tree and /trace/slowest; nil serves 404 / empty.
+	Traces *TraceStore
 	// Health backs /healthz and /readyz; nil reports vacuously healthy.
 	Health *Health
 	// Fleet backs /fleet/metrics; nil serves an empty rollup.
@@ -50,6 +55,8 @@ func (s *Server) Start(addr string) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace/recent", s.handleTraces)
+	mux.HandleFunc("/trace/tree", s.handleTraceTree)
+	mux.HandleFunc("/trace/slowest", s.handleTraceSlowest)
 	mux.HandleFunc("/events/recent", s.handleEvents)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -124,6 +131,46 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 		traces = []TraceSnapshot{}
 	}
 	writeJSON(w, traces)
+}
+
+// ParseTraceID parses a trace ID in decimal or 0x-prefixed hex — the two
+// forms trace IDs appear in across JSON artifacts and rendered trees.
+func ParseTraceID(s string) (uint64, error) {
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func (s *Server) handleTraceTree(w http.ResponseWriter, r *http.Request) {
+	id, err := ParseTraceID(r.URL.Query().Get("id"))
+	if err != nil {
+		http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	tree, ok := s.Traces.Trace(id)
+	if !ok {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, tree)
+}
+
+func (s *Server) handleTraceSlowest(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	trees := s.Traces.Slowest(n)
+	if trees == nil {
+		trees = []TraceTree{}
+	}
+	writeJSON(w, trees)
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {

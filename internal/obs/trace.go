@@ -39,6 +39,8 @@ type Span struct {
 	mu      sync.Mutex
 	tr      *Tracer
 	id      uint64
+	span    uint64
+	parent  uint64
 	kind    string
 	start   int64
 	end     int64
@@ -53,6 +55,25 @@ func (sp *Span) TraceID() uint64 {
 		return 0
 	}
 	return sp.id
+}
+
+// SpanID returns the span's own ID (0 for a nil span). Other processes
+// reference this span as their parent — the gateway ships it in the
+// segment's trace context so the cloud-side span stitches under it.
+func (sp *Span) SpanID() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.span
+}
+
+// Parent returns the span ID of this span's parent (0 for a root or nil
+// span).
+func (sp *Span) Parent() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.parent
 }
 
 // Now reads the owning tracer's clock (0 for a nil span), so deep callees
@@ -95,6 +116,8 @@ func (sp *Span) End() {
 	sp.end = tr.Now()
 	rec := spanRec{
 		id:      sp.id,
+		span:    sp.span,
+		parent:  sp.parent,
 		kind:    sp.kind,
 		start:   sp.start,
 		end:     sp.end,
@@ -112,6 +135,8 @@ func (sp *Span) End() {
 // no mutex, copyable.
 type spanRec struct {
 	id      uint64
+	span    uint64
+	parent  uint64
 	kind    string
 	start   int64
 	end     int64
@@ -123,6 +148,8 @@ type spanRec struct {
 // SpanSnapshot is the JSON form of a finished span.
 type SpanSnapshot struct {
 	TraceID       uint64  `json:"trace_id"`
+	SpanID        uint64  `json:"span_id"`
+	Parent        uint64  `json:"parent,omitempty"`
 	Kind          string  `json:"kind"`
 	Start         int64   `json:"start"`
 	End           int64   `json:"end"`
@@ -144,9 +171,12 @@ type TraceSnapshot struct {
 // under the nondeterminism rule; commands inject the wall clock with
 // SetClock before starting traffic.
 type Tracer struct {
-	clock func() int64
-	seq   atomic.Int64
-	pool  sync.Pool
+	clock   func() int64
+	seq     atomic.Int64
+	site    uint64
+	spanSeq atomic.Uint64
+	sink    func(SpanSnapshot)
+	pool    sync.Pool
 
 	mu    sync.Mutex
 	ring  []spanRec
@@ -172,6 +202,26 @@ func (t *Tracer) SetClock(clock func() int64) {
 	}
 }
 
+// SetSite names the process/role this tracer runs in ("gateway",
+// "cloud", ...). The site hash salts span IDs so spans minted by
+// different tracers feeding one TraceStore cannot collide. Call before
+// the tracer is shared across goroutines.
+func (t *Tracer) SetSite(name string) {
+	if t != nil {
+		t.site = SiteID(name)
+	}
+}
+
+// SetSink registers a callback invoked with every finished span, in
+// addition to the ring. A TraceStore hangs off this hook to assemble
+// cross-process trace trees. Call before the tracer is shared across
+// goroutines; the callback must be safe for concurrent use.
+func (t *Tracer) SetSink(sink func(SpanSnapshot)) {
+	if t != nil {
+		t.sink = sink
+	}
+}
+
 // Now reads the tracer clock (0 for a nil tracer).
 func (t *Tracer) Now() int64 {
 	if t == nil {
@@ -183,9 +233,17 @@ func (t *Tracer) Now() int64 {
 	return t.seq.Add(1)
 }
 
-// Start opens a span of the given kind for trace id. Returns nil (a valid,
-// inert span) when the tracer is nil.
+// Start opens a root span of the given kind for trace id. Returns nil (a
+// valid, inert span) when the tracer is nil.
 func (t *Tracer) Start(kind string, id uint64) *Span {
+	return t.StartChild(kind, id, 0)
+}
+
+// StartChild opens a span of the given kind on trace id under the given
+// parent span ID (0 = root). The cloud uses it to attach its per-segment
+// span under the gateway span whose ID arrived in the segment's wire
+// trace context. Returns nil when the tracer is nil.
+func (t *Tracer) StartChild(kind string, id, parent uint64) *Span {
 	if t == nil {
 		return nil
 	}
@@ -196,6 +254,8 @@ func (t *Tracer) Start(kind string, id uint64) *Span {
 	sp.mu.Lock()
 	sp.tr = t
 	sp.id = id
+	sp.span = t.nextSpanID()
+	sp.parent = parent
 	sp.kind = kind
 	sp.start = t.Now()
 	sp.end = 0
@@ -205,7 +265,35 @@ func (t *Tracer) Start(kind string, id uint64) *Span {
 	return sp
 }
 
-// record appends a finished span to the ring.
+// Child opens a span of the given kind on the same trace with this span
+// as its parent. Returns nil for a nil span or an already-ended span.
+func (sp *Span) Child(kind string) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.mu.Lock()
+	tr, id, parent := sp.tr, sp.id, sp.span
+	sp.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	return tr.StartChild(kind, id, parent)
+}
+
+// nextSpanID mints a process-unique, non-zero span ID: splitmix64 over
+// the site hash and a per-tracer sequence.
+func (t *Tracer) nextSpanID() uint64 {
+	z := (t.site ^ t.spanSeq.Add(1)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// record appends a finished span to the ring and feeds the sink.
 func (t *Tracer) record(rec spanRec) {
 	if t == nil {
 		return
@@ -214,7 +302,25 @@ func (t *Tracer) record(rec spanRec) {
 	t.ring[t.next] = rec
 	t.next = (t.next + 1) % len(t.ring)
 	t.total++
+	sink := t.sink
 	t.mu.Unlock()
+	if sink != nil {
+		sink(rec.snapshot())
+	}
+}
+
+// snapshot converts a ring record to its JSON form.
+func (rec *spanRec) snapshot() SpanSnapshot {
+	return SpanSnapshot{
+		TraceID:       rec.id,
+		SpanID:        rec.span,
+		Parent:        rec.parent,
+		Kind:          rec.kind,
+		Start:         rec.start,
+		End:           rec.end,
+		DroppedStages: rec.dropped,
+		Stages:        append([]Stage(nil), rec.stages[:rec.n]...),
+	}
 }
 
 // Recent returns the ring's finished spans, oldest first, grouped into
@@ -242,15 +348,9 @@ func (t *Tracer) Recent() []TraceSnapshot {
 
 	var out []TraceSnapshot
 	byID := make(map[uint64]int, len(recs))
-	for _, rec := range recs {
-		snap := SpanSnapshot{
-			TraceID:       rec.id,
-			Kind:          rec.kind,
-			Start:         rec.start,
-			End:           rec.end,
-			DroppedStages: rec.dropped,
-			Stages:        append([]Stage(nil), rec.stages[:rec.n]...),
-		}
+	for i := range recs {
+		rec := &recs[i]
+		snap := rec.snapshot()
 		gi, ok := byID[rec.id]
 		if !ok {
 			gi = len(out)
@@ -271,6 +371,38 @@ func SegmentTraceID(start int64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// SiteID hashes a site/process name (FNV-1a) for span-ID salting and
+// trace minting. A gateway's ID hash keys MintTraceID so the trace
+// identity a segment carries is stable across process restarts.
+func SiteID(name string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return h
+}
+
+// MintTraceID derives the wire-propagated trace ID for a segment:
+// splitmix64 over the minting site (gateway ID hash) and the segment's
+// absolute start sample. Both inputs survive crash/restart — a
+// WAL-recovered segment re-shipped under a fresh epoch keeps the same
+// trace identity it was minted with.
+func MintTraceID(site uint64, start int64) uint64 {
+	z := (site ^ uint64(start)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
 }
 
 // ctxKey keys the span carried through a context.

@@ -2,7 +2,11 @@ package obs
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -188,5 +192,129 @@ func TestTracerConcurrent(t *testing.T) {
 	readerWG.Wait()
 	if got := len(tr.Recent()); got == 0 || got > 32 {
 		t.Fatalf("recent traces = %d", got)
+	}
+}
+
+// TestSpanDroppedStagesConcurrentExact hammers one span's Stage method from
+// many goroutines past the cap and checks the accounting is exact: every
+// recorded stage either lands in the fixed array or increments
+// DroppedStages — none vanish, none double-count. Meaningful under -race.
+func TestSpanDroppedStagesConcurrentExact(t *testing.T) {
+	t.Parallel()
+	const workers, perWorker = 8, 50
+	tr := NewTracer(4)
+	sp := tr.Start("cloud-segment", 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp.Stage("sic_round", int64(w*perWorker+i), 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sp.End()
+	snap := tr.Recent()[0].Spans[0]
+	if len(snap.Stages) != MaxStages {
+		t.Fatalf("kept stages = %d, want cap %d", len(snap.Stages), MaxStages)
+	}
+	if want := workers*perWorker - MaxStages; snap.DroppedStages != want {
+		t.Fatalf("dropped = %d, want %d", snap.DroppedStages, want)
+	}
+}
+
+// TestTracerRingOverflowUnderHTTPSnapshots overflows a small span ring from
+// concurrent writers while an HTTP client snapshots /trace/recent and
+// /trace/slowest the whole time. Checks that no finished span is lost by
+// the sink even when the ring evicts, and that every snapshot the server
+// hands out has internally consistent stage/drop accounting. Meaningful
+// under -race: this is the End vs HTTP-snapshot race the soak tools rely
+// on.
+func TestTracerRingOverflowUnderHTTPSnapshots(t *testing.T) {
+	t.Parallel()
+	const workers, perWorker, ring = 4, 100, 8
+	tr := NewTracer(ring)
+	store := NewTraceStore(TraceStoreConfig{Capacity: workers * perWorker, SampleEvery: 1})
+	var sunk atomic.Int64
+	tr.SetSink(func(sn SpanSnapshot) {
+		sunk.Add(1)
+		store.Ingest(sn)
+	})
+
+	s := &Server{Tracer: tr, Traces: store}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer s.Close()
+	base := fmt.Sprintf("http://%s", s.Addr())
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, url := range []string{base + "/trace/recent", base + "/trace/slowest?n=4"} {
+				resp, err := http.Get(url)
+				if err != nil {
+					continue // server shutting down mid-request is fine
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Start("gateway-segment", SegmentTraceID(int64(w*perWorker+i)))
+				// Overflow the stage cap on every third span so snapshots
+				// taken mid-run carry DroppedStages too.
+				n := 3
+				if i%3 == 0 {
+					n = MaxStages + 5
+				}
+				for s := 0; s < n; s++ {
+					sp.Stage("detect", 1, 0)
+				}
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := sunk.Load(); got != workers*perWorker {
+		t.Fatalf("sink saw %d spans, want %d (ring eviction must not drop sink delivery)", got, workers*perWorker)
+	}
+	traces := tr.Recent()
+	if len(traces) == 0 || len(traces) > ring {
+		t.Fatalf("recent traces = %d, want 1..%d", len(traces), ring)
+	}
+	for _, trace := range store.Trees() {
+		for _, sp := range trace.Spans {
+			if len(sp.Stages) > MaxStages {
+				t.Fatalf("span holds %d stages, cap is %d", len(sp.Stages), MaxStages)
+			}
+			if sp.DroppedStages > 0 && len(sp.Stages) != MaxStages {
+				t.Fatalf("span dropped %d stages while only %d recorded (cap %d)",
+					sp.DroppedStages, len(sp.Stages), MaxStages)
+			}
+		}
+	}
+	if store.Len() != workers*perWorker {
+		t.Fatalf("store retained %d traces, want %d", store.Len(), workers*perWorker)
 	}
 }

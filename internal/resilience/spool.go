@@ -18,6 +18,11 @@ type Item struct {
 	// — cloud ack, busy reject, degraded decode — acks this id so the
 	// record is not replayed after a restart.
 	WAL uint64
+	// Recovered marks an item restored from the WAL on restart. Its
+	// original detect-time span died with the previous process, so the
+	// sender opens a fresh wal_replay span on the segment's original trace
+	// (the trace ID rides inside Seg) when it ships.
+	Recovered bool
 }
 
 // Spool is a bounded drop-oldest FIFO between the detection pipeline and
